@@ -1,0 +1,317 @@
+// Package awakemis is a Go implementation of
+//
+//	Dufoulon, Moses Jr., Pandurangan.
+//	"Distributed MIS in O(log log n) Awake Complexity." PODC 2023.
+//
+// It provides the paper's main algorithm — a randomized distributed
+// maximal-independent-set algorithm whose worst-case awake complexity
+// (the number of rounds any node must keep its radio on) is
+// O(log log n) — together with the full stack it is built on: a
+// SLEEPING-CONGEST network simulator, the virtual-binary-tree
+// coordination technique, labeled distance trees, the auxiliary
+// algorithms VT-MIS and LDT-MIS, and the classical baselines the paper
+// compares against.
+//
+// Quick start:
+//
+//	g := awakemis.GNP(1024, 0.004, 1)
+//	res, err := awakemis.Run(g, awakemis.AwakeMIS, awakemis.Options{Seed: 1})
+//	// res.InMIS is a valid MIS; res.Metrics.MaxAwake is O(log log n).
+package awakemis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"awakemis/internal/core"
+	"awakemis/internal/ldtmis"
+	"awakemis/internal/luby"
+	"awakemis/internal/naive"
+	"awakemis/internal/sim"
+	"awakemis/internal/trace"
+	"awakemis/internal/verify"
+	"awakemis/internal/vtcolor"
+	"awakemis/internal/vtmatch"
+	"awakemis/internal/vtmis"
+)
+
+// Algorithm selects a distributed MIS algorithm.
+type Algorithm string
+
+const (
+	// AwakeMIS is the paper's main contribution (Theorem 13):
+	// O(log log n) awake complexity.
+	AwakeMIS Algorithm = "awake-mis"
+	// AwakeMISRound is the Corollary 14 variant built on the
+	// deterministic LDT construction.
+	AwakeMISRound Algorithm = "awake-mis-round"
+	// Luby is the classical O(log n)-round, O(log n)-awake baseline.
+	Luby Algorithm = "luby"
+	// NaiveGreedy is the O(I)-awake naive distributed sequential greedy
+	// (§5.3), with IDs assigned as a random permutation of [1, n].
+	NaiveGreedy Algorithm = "naive-greedy"
+	// VTMIS is Algorithm VT-MIS (Lemma 10): O(log I) awake via the
+	// virtual binary tree, with IDs a random permutation of [1, n].
+	VTMIS Algorithm = "vt-mis"
+	// LDTMIS is Algorithm LDT-MIS (Lemma 11): O(log n′) awake via
+	// labeled distance trees, with IDs from a 2⁴⁰ space.
+	LDTMIS Algorithm = "ldt-mis"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AwakeMIS, AwakeMISRound, Luby, NaiveGreedy, VTMIS, LDTMIS}
+}
+
+// Options configures a run. The zero value is usable.
+type Options struct {
+	// Seed drives all randomness; equal seeds replay identical runs.
+	Seed int64
+	// N is the common polynomial upper bound on the network size known
+	// to nodes (the paper's N). Zero means the exact node count.
+	N int
+	// Bandwidth overrides the CONGEST per-message bit budget
+	// (default 16·⌈log₂ N⌉ + 16).
+	Bandwidth int
+	// Strict makes any message exceeding Bandwidth a run error.
+	Strict bool
+	// MaxRounds aborts runaway schedules (default 2⁴⁰ rounds).
+	MaxRounds int64
+	// Params tunes Awake-MIS constants (ignored by other algorithms);
+	// zero fields take paper-faithful defaults.
+	Params core.Params
+	// Trace records per-node awake timelines and message-loss counters,
+	// exposed through Result.Timeline and Result.TraceSummary.
+	Trace bool
+}
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{
+		Seed:      o.Seed,
+		N:         o.N,
+		Bandwidth: o.Bandwidth,
+		Strict:    o.Strict,
+		MaxRounds: o.MaxRounds,
+	}
+}
+
+// Metrics reports the complexity measures of a run (§1.3–1.4).
+type Metrics struct {
+	// Rounds is the round complexity (sleeping rounds included).
+	Rounds int64
+	// ExecutedRounds is the number of rounds with at least one awake node.
+	ExecutedRounds int64
+	// MaxAwake is the worst-case awake complexity max_v A_v.
+	MaxAwake int64
+	// AvgAwake is the node-averaged awake complexity.
+	AvgAwake float64
+	// AwakePerNode is A_v for every node.
+	AwakePerNode []int64
+	// MessagesSent and BitsSent measure communication volume.
+	MessagesSent int64
+	BitsSent     int64
+	// MaxMessageBits is the largest message observed.
+	MaxMessageBits int
+}
+
+func fromSim(m *sim.Metrics) Metrics {
+	return Metrics{
+		Rounds:         m.Rounds,
+		ExecutedRounds: m.ExecutedRounds,
+		MaxAwake:       m.MaxAwake,
+		AvgAwake:       m.AvgAwake(),
+		AwakePerNode:   append([]int64(nil), m.AwakePerNode...),
+		MessagesSent:   m.MessagesSent,
+		BitsSent:       m.BitsSent,
+		MaxMessageBits: m.MaxMessageBits,
+	}
+}
+
+// Result is an algorithm's output.
+type Result struct {
+	// InMIS[v] reports whether node v joined the MIS.
+	InMIS []bool
+	// Metrics holds the run's complexity measures.
+	Metrics Metrics
+
+	trace *trace.Collector
+}
+
+// Timeline renders an ASCII awake-density timeline of the k busiest
+// nodes (requires Options.Trace; otherwise returns a notice).
+func (r *Result) Timeline(k, width int) string {
+	if r.trace == nil {
+		return "tracing disabled: set Options.Trace\n"
+	}
+	return r.trace.Timeline(r.trace.BusiestNodes(k), width)
+}
+
+// TraceSummary describes the recorded trace (requires Options.Trace).
+func (r *Result) TraceSummary() string {
+	if r.trace == nil {
+		return "tracing disabled: set Options.Trace"
+	}
+	return r.trace.Summary()
+}
+
+// Run executes the selected algorithm on g and returns its MIS and
+// metrics. The output is always verified to be a maximal independent
+// set before returning (a violation — possible only if a
+// high-probability event failed — is reported as an error).
+func Run(g *Graph, algo Algorithm, opt Options) (*Result, error) {
+	cfg := opt.simConfig()
+	var collector *trace.Collector
+	if opt.Trace {
+		collector = trace.NewCollector()
+		cfg.Tracer = collector
+	}
+	n := g.N()
+	var in []bool
+	var m *sim.Metrics
+	var err error
+
+	switch algo {
+	case AwakeMIS, AwakeMISRound:
+		params := opt.Params
+		if algo == AwakeMISRound {
+			params.Variant = ldtmis.VariantRound
+		}
+		var res *core.Result
+		res, m, err = core.Run(g.internal(), params, cfg)
+		if err == nil {
+			in = res.InMIS
+		}
+	case Luby:
+		var res *luby.Result
+		res, m, err = luby.Run(g.internal(), cfg)
+		if err == nil {
+			in = res.InMIS
+		}
+	case NaiveGreedy:
+		ids := permIDs(n, opt.Seed)
+		var res *naive.Result
+		res, m, err = naive.Run(g.internal(), ids, n, cfg)
+		if err == nil {
+			in = res.InMIS
+		}
+	case VTMIS:
+		ids := permIDs(n, opt.Seed)
+		var res *vtmis.Result
+		res, m, err = vtmis.Run(g.internal(), ids, n, cfg)
+		if err == nil {
+			in = res.InMIS
+		}
+	case LDTMIS:
+		ids := bigIDs(n, opt.Seed)
+		np := 1
+		for _, c := range g.Components() {
+			if len(c) > np {
+				np = len(c)
+			}
+		}
+		if cfg.Bandwidth == 0 {
+			// Lemma 11 allows O(log I)-bit messages; the IDs come from a
+			// 2⁴⁰ space, so the CONGEST budget scales with log I.
+			cfg.Bandwidth = sim.DefaultBandwidth(1 << 40)
+		}
+		var res *ldtmis.Result
+		res, m, err = ldtmis.Run(g.internal(), ids, np, ldtmis.VariantAwake, cfg)
+		if err == nil {
+			in = res.InMIS
+		}
+	default:
+		return nil, fmt.Errorf("awakemis: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("awakemis: %s: %w", algo, err)
+	}
+	if verr := verify.CheckMIS(g.internal(), in); verr != nil {
+		return nil, fmt.Errorf("awakemis: %s produced an invalid MIS (failed w.h.p. event): %w", algo, verr)
+	}
+	return &Result{InMIS: in, Metrics: fromSim(m), trace: collector}, nil
+}
+
+// Verify checks that inMIS is a maximal independent set of g.
+func Verify(g *Graph, inMIS []bool) error {
+	return verify.CheckMIS(g.internal(), inMIS)
+}
+
+// ColoringResult is the output of RunColoring.
+type ColoringResult struct {
+	// Color[v] is node v's color; colors are in [0, Δ].
+	Color []int
+	// Metrics holds the run's complexity measures.
+	Metrics Metrics
+}
+
+// RunColoring computes a greedy (Δ+1)-coloring in the sleeping model
+// with O(log n) awake complexity — the §7 extension of the paper's
+// virtual-binary-tree technique to another symmetry-breaking problem.
+// The output is verified to be a proper coloring with every node's
+// color at most its degree.
+func RunColoring(g *Graph, opt Options) (*ColoringResult, error) {
+	ids := permIDs(g.N(), opt.Seed)
+	res, m, err := vtcolor.Run(g.internal(), ids, g.N(), opt.simConfig())
+	if err != nil {
+		return nil, fmt.Errorf("awakemis: coloring: %w", err)
+	}
+	if verr := verify.CheckColoring(g.internal(), res.Color); verr != nil {
+		return nil, fmt.Errorf("awakemis: coloring invalid: %w", verr)
+	}
+	return &ColoringResult{Color: res.Color, Metrics: fromSim(m)}, nil
+}
+
+// MatchingResult is the output of RunMatching.
+type MatchingResult struct {
+	// MatchedWith[v] is v's partner, or -1 if unmatched.
+	MatchedWith []int
+	// Metrics holds the run's complexity measures.
+	Metrics Metrics
+}
+
+// RunMatching computes a maximal matching in the sleeping model via
+// greedy processing of a random edge order (§7 extension). Each node is
+// awake at most once per incident edge and stops as soon as it matches;
+// the output is verified maximal before returning.
+func RunMatching(g *Graph, opt Options) (*MatchingResult, error) {
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x3f7))
+	perm := rng.Perm(g.M())
+	ids := vtmatch.EdgeIDs{}
+	for i, e := range g.internal().Edges() {
+		ids[e] = perm[i] + 1
+	}
+	res, m, err := vtmatch.Run(g.internal(), ids, g.M(), opt.simConfig())
+	if err != nil {
+		return nil, fmt.Errorf("awakemis: matching: %w", err)
+	}
+	if verr := verify.CheckMatching(g.internal(), res.MatchedWith); verr != nil {
+		return nil, fmt.Errorf("awakemis: matching invalid: %w", verr)
+	}
+	return &MatchingResult{MatchedWith: res.MatchedWith, Metrics: fromSim(m)}, nil
+}
+
+func permIDs(n int, seed int64) []int {
+	perm := rand.New(rand.NewSource(seed ^ 0x1d5)).Perm(n)
+	ids := make([]int, n)
+	for v, p := range perm {
+		ids[v] = p + 1
+	}
+	return ids
+}
+
+func bigIDs(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x2e6))
+	seen := make(map[int64]bool, n)
+	ids := make([]int64, n)
+	for v := range ids {
+		for {
+			id := rng.Int63n(1<<40) + 1
+			if !seen[id] {
+				seen[id] = true
+				ids[v] = id
+				break
+			}
+		}
+	}
+	return ids
+}

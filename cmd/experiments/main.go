@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper-reproduction tables
+// recorded in EXPERIMENTS.md: one experiment per theorem, lemma, and
+// figure (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	experiments                # run the whole suite
+//	experiments -run e1,e7     # selected experiments
+//	experiments -quick         # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"awakemis/internal/expt"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "smaller sweeps")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "trials per configuration (0 = default)")
+		sizes  = flag.String("sizes", "", "comma-separated n sweep (default: 64,256,1024,4096)")
+	)
+	flag.Parse()
+
+	opts := expt.Options{Seed: *seed, Quick: *quick, Trials: *trials}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+				os.Exit(1)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	var selected []expt.Experiment
+	if *run == "" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := expt.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", id)
+				for _, e := range expt.All() {
+					fmt.Fprintf(os.Stderr, "  %-3s %s\n", e.ID, e.Title)
+				}
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(e.ID), e.Title)
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

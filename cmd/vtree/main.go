@@ -1,0 +1,69 @@
+// Command vtree renders the virtual binary trees of §5.1 and their
+// communication sets — the machinery behind Figures 1 and 2 — for any
+// ID bound i.
+//
+// Usage:
+//
+//	vtree -i 6        # reproduces the paper's figures
+//	vtree -i 6 -k 3   # the wake schedule of ID 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"awakemis/internal/vtree"
+)
+
+func main() {
+	var (
+		i = flag.Int("i", 6, "ID bound (the tree covers [1,i])")
+		k = flag.Int("k", 0, "show the communication set of this ID (0 = all)")
+	)
+	flag.Parse()
+
+	tr := vtree.Build(*i)
+	fmt.Printf("B([1,%d]): depth %d, %d nodes\n", *i, vtree.Depth(*i), vtree.Size(*i))
+	printLevels(tr.BLabel)
+	fmt.Printf("\nB*([1,%d]) = g(B), g(x) = ⌊x/2⌋+1:\n", *i)
+	printLevels(tr.StarLabel)
+	fmt.Println()
+
+	ks := []int{}
+	if *k > 0 {
+		ks = append(ks, *k)
+	} else {
+		for id := 1; id <= *i; id++ {
+			ks = append(ks, id)
+		}
+	}
+	for _, id := range ks {
+		fmt.Printf("S_%d([1,%d]) = %v    awake rounds: %v\n",
+			id, *i, vtree.CommSet(id, *i), vtree.AwakeRounds(id, *i))
+	}
+}
+
+// printLevels prints a heap-ordered tree one level per line, centered.
+func printLevels(labels []int) {
+	depth := 0
+	for (1 << (depth + 1)) <= len(labels)+1 {
+		depth++
+	}
+	width := 1 << depth * 4
+	idx := 0
+	for level := 0; idx < len(labels); level++ {
+		count := 1 << level
+		cell := width / count
+		var b strings.Builder
+		for j := 0; j < count && idx < len(labels); j++ {
+			s := fmt.Sprintf("%d", labels[idx])
+			pad := (cell - len(s)) / 2
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", cell-pad-len(s)))
+			idx++
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+}

@@ -1,0 +1,94 @@
+package awakemis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenOptions parameterizes Generate. Zero values take family-specific
+// defaults (P = 4/N for gnp, Degree = 4, Radius = 0.1).
+type GenOptions struct {
+	// N is the number of nodes.
+	N int
+	// P is the edge probability (gnp).
+	P float64
+	// Degree is the degree target (regular) or attachments (powerlaw).
+	Degree int
+	// Radius is the connection radius (geometric).
+	Radius float64
+	// Seed drives randomized generators.
+	Seed int64
+}
+
+// Families lists the graph families Generate accepts.
+func Families() []string {
+	return []string{
+		"gnp", "cycle", "path", "complete", "star", "grid",
+		"tree", "regular", "geometric", "powerlaw", "hypercube", "torus",
+	}
+}
+
+// Generate builds a workload graph by family name — the single place
+// the CLI tools and experiment scripts construct inputs from.
+func Generate(family string, o GenOptions) (*Graph, error) {
+	n := o.N
+	if n <= 0 {
+		n = 1024
+	}
+	p := o.P
+	if p == 0 {
+		p = 4 / float64(n)
+	}
+	d := o.Degree
+	if d == 0 {
+		d = 4
+	}
+	r := o.Radius
+	if r == 0 {
+		r = 0.1
+	}
+	switch strings.ToLower(family) {
+	case "gnp":
+		return GNP(n, p, o.Seed), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "path":
+		return Path(n), nil
+	case "complete":
+		return Complete(n), nil
+	case "star":
+		return Star(n), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, side), nil
+	case "tree":
+		return RandomTree(n, o.Seed), nil
+	case "regular":
+		if d >= n {
+			return nil, fmt.Errorf("awakemis: regular family needs degree < n, got %d >= %d", d, n)
+		}
+		return RandomRegular(n, d, o.Seed), nil
+	case "geometric":
+		return RandomGeometric(n, r, o.Seed), nil
+	case "powerlaw":
+		return PreferentialAttachment(n, d, o.Seed), nil
+	case "hypercube":
+		dim := 0
+		for 1<<uint(dim) < n {
+			dim++
+		}
+		return Hypercube(dim), nil
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Torus(side, side), nil
+	default:
+		return nil, fmt.Errorf("awakemis: unknown graph family %q (have %s)",
+			family, strings.Join(Families(), "|"))
+	}
+}

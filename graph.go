@@ -1,0 +1,133 @@
+package awakemis
+
+import (
+	"io"
+	"math/rand"
+
+	igraph "awakemis/internal/graph"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1, the input to
+// every algorithm in this package. Construct one with NewGraph or a
+// generator (GNP, Cycle, RandomTree, ...).
+type Graph struct {
+	g *igraph.Graph
+}
+
+// NewGraph builds a graph on n vertices from an undirected edge list.
+// Duplicate edges are collapsed; self-loops are an error.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	g, err := igraph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return g.g.Degree(v) }
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int { return g.g.MaxDegree() }
+
+// Edges returns the edge list with u < v in sorted order.
+func (g *Graph) Edges() [][2]int { return g.g.Edges() }
+
+// Neighbors returns the sorted neighbors of v.
+func (g *Graph) Neighbors(v int) []int {
+	nb := g.g.Neighbors(v)
+	out := make([]int, len(nb))
+	for i, w := range nb {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// IsConnected reports whether the graph is connected.
+func (g *Graph) IsConnected() bool { return g.g.IsConnected() }
+
+// Components returns the connected components as sorted vertex lists.
+func (g *Graph) Components() [][]int { return g.g.Components() }
+
+// String summarizes the graph.
+func (g *Graph) String() string { return g.g.String() }
+
+// internal returns the underlying representation for the algorithms.
+func (g *Graph) internal() *igraph.Graph { return g.g }
+
+// GNP returns an Erdős–Rényi random graph G(n, p).
+func GNP(n int, p float64, seed int64) *Graph {
+	return &Graph{g: igraph.GNP(n, p, rand.New(rand.NewSource(seed)))}
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph { return &Graph{g: igraph.Cycle(n)} }
+
+// Path returns the n-vertex path.
+func Path(n int) *Graph { return &Graph{g: igraph.Path(n)} }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return &Graph{g: igraph.Complete(n)} }
+
+// Star returns the star graph with center 0.
+func Star(n int) *Graph { return &Graph{g: igraph.Star(n)} }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph { return &Graph{g: igraph.Grid(rows, cols)} }
+
+// RandomTree returns a uniformly random labeled tree.
+func RandomTree(n int, seed int64) *Graph {
+	return &Graph{g: igraph.RandomTree(n, rand.New(rand.NewSource(seed)))}
+}
+
+// RandomRegular returns an approximately d-regular random graph.
+func RandomRegular(n, d int, seed int64) *Graph {
+	return &Graph{g: igraph.RandomRegular(n, d, rand.New(rand.NewSource(seed)))}
+}
+
+// RandomGeometric returns a random geometric graph on the unit square
+// with connection radius r — the classic model of a wireless sensor
+// network, the paper's motivating deployment (§1.2).
+func RandomGeometric(n int, r float64, seed int64) *Graph {
+	return &Graph{g: igraph.RandomGeometric(n, r, rand.New(rand.NewSource(seed)))}
+}
+
+// PreferentialAttachment returns a Barabási–Albert style power-law
+// graph with k attachments per vertex.
+func PreferentialAttachment(n, k int, seed int64) *Graph {
+	return &Graph{g: igraph.PreferentialAttachment(n, k, rand.New(rand.NewSource(seed)))}
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *Graph { return &Graph{g: igraph.Hypercube(d)} }
+
+// Torus returns the rows×cols 2D torus.
+func Torus(rows, cols int) *Graph { return &Graph{g: igraph.Torus(rows, cols)} }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph { return &Graph{g: igraph.CompleteBipartite(a, b)} }
+
+// Barbell returns two K_k cliques joined by a path of pathLen vertices.
+func Barbell(k, pathLen int) *Graph { return &Graph{g: igraph.Barbell(k, pathLen)} }
+
+// Lollipop returns a K_k clique with a path tail attached.
+func Lollipop(k, tail int) *Graph { return &Graph{g: igraph.Lollipop(k, tail)} }
+
+// ReadGraph parses the edge-list interchange format ("# n m" header,
+// one "u v" pair per line) produced by WriteGraph and cmd/graphgen.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := igraph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// WriteGraph writes g in the edge-list interchange format.
+func WriteGraph(w io.Writer, g *Graph) error { return igraph.WriteEdgeList(w, g.g) }

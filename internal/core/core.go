@@ -1,0 +1,222 @@
+// Package core implements Algorithm Awake-MIS (§6), the paper's main
+// contribution: a randomized distributed MIS algorithm with
+// O(log log n) worst-case awake complexity in SLEEPING-CONGEST
+// (Theorem 13), plus the round-efficient variant built on the
+// deterministic LDT construction (Corollary 14).
+//
+// Every node picks a batch (i, j) ∈ [1,ℓ] × [1,2Δ′] — level i with
+// probability ∝ c·2^i·log n / n (so batch-level populations double) and
+// j uniform. Batches are processed in 2ℓΔ′ phases: the first round of
+// each phase is a communication round in which exactly the nodes whose
+// virtual-binary-tree communication set contains the phase index wake
+// and exchange states (so any node attends O(log log n) communication
+// rounds yet, by Observation 5, always learns about MIS neighbors from
+// earlier batches in time); the rest of the phase is an LDT-MIS window
+// in which the still-undecided nodes of that batch — whose induced
+// subgraph is shattered into O(log n)-size components by Lemmas 2
+// and 3 — compute an LFMIS with respect to a fresh random ordering.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/ldtmis"
+	"awakemis/internal/misproto"
+	"awakemis/internal/sim"
+	"awakemis/internal/vtree"
+)
+
+// Params configures Awake-MIS. The proof constants of §6 (batch
+// probability 10·2^i log n/n, Δ′ = 9 ln(n⁴), component bound
+// 6 ln(n⁴)) are asymptotic; the defaults here preserve every
+// high-probability argument at laptop sizes while keeping the
+// simulation tractable (see DESIGN.md §2, substitution 3).
+type Params struct {
+	// C1 scales the batch-level probabilities (paper: 10).
+	C1 float64
+	// DeltaPrime is Δ′, the residual-degree bound; batches per level
+	// number 2Δ′. Zero means ⌈6·ln N⌉.
+	DeltaPrime int
+	// NP is the component-size bound handed to LDT-MIS phases.
+	// Zero means ⌈12·ln N⌉.
+	NP int
+	// Variant selects the LDT construction inside phases:
+	// ldtmis.VariantAwake gives Theorem 13, ldtmis.VariantRound gives
+	// Corollary 14.
+	Variant ldtmis.Variant
+	// IDSpace is the random-ID space (paper: poly(N)). Zero means N³.
+	IDSpace int64
+}
+
+// WithDefaults fills zero fields for a network bound N.
+func (p Params) WithDefaults(n int) Params {
+	if n < 2 {
+		n = 2
+	}
+	ln := math.Log(float64(n))
+	if p.C1 == 0 {
+		p.C1 = 4
+	}
+	if p.DeltaPrime == 0 {
+		p.DeltaPrime = int(math.Ceil(6 * ln))
+	}
+	if p.NP == 0 {
+		p.NP = int(math.Ceil(12 * ln))
+	}
+	if p.IDSpace == 0 {
+		nn := int64(n)
+		p.IDSpace = nn * nn * nn
+		if p.IDSpace < 1<<16 {
+			p.IDSpace = 1 << 16
+		}
+	}
+	return p
+}
+
+// Schedule is the deterministic phase timetable every node derives
+// locally from (N, Params, bandwidth).
+type Schedule struct {
+	Levels      int   // ℓ
+	BatchesPer  int   // 2Δ′
+	TotalPhases int   // 2ℓΔ′
+	PhaseSpan   int64 // 1 communication round + LDT-MIS window
+	NP          int
+	Variant     ldtmis.Variant
+	cumProb     []float64 // cumProb[i-1] = P[level ≤ i]
+}
+
+// NewSchedule derives the timetable for a known bound n and bandwidth.
+func NewSchedule(n int, params Params, bandwidth int) *Schedule {
+	params = params.WithDefaults(n)
+	ell := int(math.Ceil(math.Log2(float64(n)) - math.Log2(math.Log2(float64(max2(n, 4)))))) // ⌈log n − log log n⌉
+	if ell < 1 {
+		ell = 1
+	}
+	// Cumulative level probabilities F_i = min(1, C1·2^i·ln(n)/n);
+	// levels past the cap would be empty, so the ladder truncates there.
+	ln := math.Log(float64(n))
+	cum := make([]float64, 0, ell)
+	for i := 1; i <= ell; i++ {
+		f := params.C1 * math.Pow(2, float64(i)) * ln / float64(n)
+		if f >= 1 || i == ell {
+			cum = append(cum, 1)
+			break
+		}
+		cum = append(cum, f)
+	}
+	ell = len(cum)
+	batches := 2 * params.DeltaPrime
+	return &Schedule{
+		Levels:      ell,
+		BatchesPer:  batches,
+		TotalPhases: ell * batches,
+		PhaseSpan:   1 + ldtmis.Span(params.NP, bandwidth, params.Variant),
+		NP:          params.NP,
+		Variant:     params.Variant,
+		cumProb:     cum,
+	}
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PhaseStart returns the first simulator round of phase p ∈ [1, total].
+func (s *Schedule) PhaseStart(p int) int64 { return int64(p-1) * s.PhaseSpan }
+
+// TotalRounds returns the timetable's horizon.
+func (s *Schedule) TotalRounds() int64 { return int64(s.TotalPhases) * s.PhaseSpan }
+
+// SampleBatch draws a batch (level, j) using the node's randomness
+// source via the two uniform variates u1, u2 ∈ [0,1).
+func (s *Schedule) SampleBatch(u1, u2 float64) (level, j int) {
+	level = s.Levels
+	for i, f := range s.cumProb {
+		if u1 < f {
+			level = i + 1
+			break
+		}
+	}
+	j = 1 + int(u2*float64(s.BatchesPer))
+	if j > s.BatchesPer {
+		j = s.BatchesPer
+	}
+	return level, j
+}
+
+// Phase maps a batch to its phase index under the lexicographic order g.
+func (s *Schedule) Phase(level, j int) int { return (level-1)*s.BatchesPer + j }
+
+// Result collects the algorithm's output.
+type Result struct {
+	InMIS []bool
+	// Batch[v] is the phase index node v drew (diagnostics).
+	Batch []int
+}
+
+// Program returns the per-node Awake-MIS program.
+func Program(res *Result, sched *Schedule, params Params, n int) sim.Program {
+	params = params.WithDefaults(n)
+	return func(ctx *sim.Ctx) {
+		rng := ctx.Rand()
+		id := rng.Int63n(params.IDSpace) + 1
+		level, j := sched.SampleBatch(rng.Float64(), rng.Float64())
+		myPhase := sched.Phase(level, j)
+		res.Batch[ctx.Node()] = myPhase
+
+		state := misproto.Undecided
+		commRounds := vtree.AwakeRounds(myPhase, sched.TotalPhases)
+		for _, r := range commRounds {
+			if state == misproto.NotInMIS {
+				break // nothing more to learn or announce
+			}
+			target := sched.PhaseStart(r)
+			if target > ctx.Round() {
+				ctx.SleepUntil(target)
+			}
+			// (target == Round() only at the model's initial all-awake
+			// round 0, which is this node's first communication round.)
+			ctx.Broadcast(misproto.StateMsg{State: state})
+			in := ctx.Deliver()
+			if state == misproto.Undecided {
+				for _, m := range in {
+					if sm, ok := m.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+						state = misproto.NotInMIS
+						break
+					}
+				}
+			}
+			if r == myPhase && state == misproto.Undecided {
+				ldtmis.RunSub(ctx, sched.PhaseStart(r)+1, id, sched.NP, sched.Variant, &state)
+			}
+		}
+		res.InMIS[ctx.Node()] = state == misproto.InMIS
+	}
+}
+
+// Run executes Awake-MIS on g.
+func Run(g *graph.Graph, params Params, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	n := cfg.N
+	if n == 0 {
+		n = g.N()
+	}
+	if n < 2 {
+		n = 2
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = sim.DefaultBandwidth(n)
+	}
+	params = params.WithDefaults(n)
+	sched := NewSchedule(n, params, cfg.Bandwidth)
+	res := &Result{InMIS: make([]bool, g.N()), Batch: make([]int, g.N())}
+	m, err := sim.Run(g, Program(res, sched, params, n), cfg)
+	if err != nil {
+		return nil, m, fmt.Errorf("core: %w", err)
+	}
+	return res, m, nil
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Seed: 1, Quick: true, Trials: 1, Sizes: []int{32, 64}}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(quickOpts(), &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e1"); !ok {
+		t.Error("e1 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestF2GoldenOutput(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("f2")
+	if err := e.Run(Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[3 4 5]", "[5 6]", "shared round for IDs 3 < 5: 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("f2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE7ContainsAllAlgorithms(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("e7")
+	if err := e.Run(quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, algo := range []string{"luby", "naive-greedy", "vt-mis", "awake-mis"} {
+		if !strings.Contains(out, algo) {
+			t.Errorf("e7 missing %s:\n%s", algo, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 3 || len(o.Sizes) == 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if len(q.Sizes) >= len(Options{}.withDefaults().Sizes) {
+		t.Error("quick sweep should be smaller")
+	}
+}

@@ -1,0 +1,380 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GNP returns an Erdős–Rényi random graph G(n, p) drawn with rng.
+// For p <= 0 it returns the empty graph, for p >= 1 the complete graph.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Batagelj–Brandes geometric skipping over the lower-triangular
+	// pairs (v, w), w < v: O(n + m) expected time.
+	logq := math.Log1p(-p)
+	v, w := 1, -1
+	for v < n {
+		r := rng.Float64()
+		skip := math.Floor(math.Log1p(-r) / logq)
+		if skip > float64(n)*float64(n) { // overshoots every remaining pair
+			break
+		}
+		w += 1 + int(skip)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			g.adj[v] = append(g.adj[v], int32(w))
+			g.adj[w] = append(g.adj[w], int32(v))
+			g.m++
+		}
+	}
+	g.normalize()
+	return g
+}
+
+// Cycle returns the n-cycle (n >= 3), or a path for n < 3.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.adj[0] = append(g.adj[0], int32(n-1))
+		g.adj[n-1] = append(g.adj[n-1], int32(0))
+		g.m++
+		g.normalize()
+	}
+	return g
+}
+
+// Path returns the path 0-1-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.adj[i] = append(g.adj[i], int32(i+1))
+		g.adj[i+1] = append(g.adj[i+1], int32(i))
+		g.m++
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.adj[u] = append(g.adj[u], int32(v))
+			g.adj[v] = append(g.adj[v], int32(u))
+			g.m++
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.adj[0] = append(g.adj[0], int32(v))
+		g.adj[v] = append(g.adj[v], int32(0))
+		g.m++
+	}
+	g.normalize()
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	n := rows * cols
+	g := New(n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				u, v := id(r, c), id(r, c+1)
+				g.adj[u] = append(g.adj[u], int32(v))
+				g.adj[v] = append(g.adj[v], int32(u))
+				g.m++
+			}
+			if r+1 < rows {
+				u, v := id(r, c), id(r+1, c)
+				g.adj[u] = append(g.adj[u], int32(v))
+				g.adj[v] = append(g.adj[v], int32(u))
+				g.m++
+			}
+		}
+	}
+	g.normalize()
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via
+// a random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n <= 1 {
+		return New(n)
+	}
+	if n == 2 {
+		return MustFromEdges(2, [][2]int{{0, 1}})
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	edges := make([][2]int, 0, n-1)
+	// Min-heap over leaves by index for determinism.
+	leaves := &intHeap{}
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			leaves.push(v)
+		}
+	}
+	for _, v := range prufer {
+		leaf := leaves.pop()
+		edges = append(edges, [2]int{leaf, v})
+		degree[v]--
+		if degree[v] == 1 {
+			leaves.push(v)
+		}
+	}
+	a := leaves.pop()
+	b := leaves.pop()
+	edges = append(edges, [2]int{a, b})
+	return MustFromEdges(n, edges)
+}
+
+// BinaryTree returns the complete binary tree on n vertices with root 0
+// (vertex v has children 2v+1 and 2v+2 when in range).
+func BinaryTree(n int) *Graph {
+	edges := make([][2]int, 0, n)
+	for v := 0; v < n; v++ {
+		for _, c := range []int{2*v + 1, 2*v + 2} {
+			if c < n {
+				edges = append(edges, [2]int{v, c})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// RandomRegular returns an (approximately) d-regular random graph via
+// the configuration model with rejection of self-loops and multi-edges;
+// a small number of vertices may end up with degree below d.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if d >= n {
+		panic(fmt.Sprintf("graph: RandomRegular requires d < n, got d=%d n=%d", d, n))
+	}
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	seen := make(map[[2]int]bool)
+	edges := make([][2]int, 0, n*d/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// PreferentialAttachment returns a Barabási–Albert style power-law graph:
+// each new vertex attaches to k existing vertices chosen proportionally
+// to degree (with repetition collapsed).
+func PreferentialAttachment(n, k int, rng *rand.Rand) *Graph {
+	if n <= 0 {
+		return New(0)
+	}
+	if k < 1 {
+		k = 1
+	}
+	edges := make([][2]int, 0, n*k)
+	// targets holds one entry per endpoint, so sampling uniformly from it
+	// is degree-proportional sampling.
+	targets := []int{0}
+	for v := 1; v < n; v++ {
+		picked := map[int]bool{}
+		for t := 0; t < k && t < v; t++ {
+			w := targets[rng.Intn(len(targets))]
+			if w == v || picked[w] {
+				continue
+			}
+			picked[w] = true
+			edges = append(edges, [2]int{v, w})
+		}
+		if len(picked) == 0 {
+			// Guarantee connectivity by attaching to a uniform earlier vertex.
+			w := rng.Intn(v)
+			picked[w] = true
+			edges = append(edges, [2]int{v, w})
+		}
+		for w := range picked {
+			targets = append(targets, w, v)
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in
+// the unit square, an edge between points within distance r.
+func RandomGeometric(n int, r float64, rng *rand.Rand) *Graph {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	// Grid bucketing for near-linear construction.
+	cell := r
+	if cell <= 0 {
+		return New(n)
+	}
+	type key struct{ cx, cy int }
+	buckets := make(map[key][]int)
+	for i, p := range pts {
+		k := key{int(p.x / cell), int(p.y / cell)}
+		buckets[k] = append(buckets[k], i)
+	}
+	edges := [][2]int{}
+	r2 := r * r
+	for i, p := range pts {
+		cx, cy := int(p.x/cell), int(p.y/cell)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[key{cx + dx, cy + dy}] {
+					if j <= i {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p.x-q.x, p.y-q.y
+					if ddx*ddx+ddy*ddy <= r2 {
+						edges = append(edges, [2]int{i, j})
+					}
+				}
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length
+// spine with legs pendant vertices attached round-robin to spine nodes.
+// Useful as an adversarial low-diameter-tree workload.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + legs
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	for l := 0; l < legs; l++ {
+		edges = append(edges, [2]int{l % spine, spine + l})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, with
+// vertex blocks in argument order.
+func DisjointUnion(gs ...*Graph) *Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	out := New(total)
+	base := 0
+	for _, g := range gs {
+		for u := 0; u < g.N(); u++ {
+			for _, w := range g.adj[u] {
+				out.adj[base+u] = append(out.adj[base+u], int32(base+int(w)))
+			}
+		}
+		out.m += g.m
+		base += g.N()
+	}
+	out.normalize()
+	return out
+}
+
+// intHeap is a tiny min-heap used by RandomTree.
+type intHeap struct{ a []int }
+
+func (h *intHeap) push(v int) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return v
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d.
+func DegreeHistogram(g *Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// SortedComponentSizes returns component sizes in decreasing order.
+func SortedComponentSizes(g *Graph) []int {
+	comps := g.Components()
+	sizes := make([]int, len(comps))
+	for i, c := range comps {
+		sizes[i] = len(c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

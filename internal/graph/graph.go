@@ -1,0 +1,208 @@
+// Package graph provides the undirected-graph substrate used throughout
+// the repository: a compact adjacency representation with port numbering
+// (as required by the anonymous CONGEST model of the paper, §1.3),
+// generators for the workload families the experiments sweep over, and
+// structural utilities (degrees, connected components, induced
+// subgraphs).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1. Adjacency
+// lists are sorted by neighbor index; the position of a neighbor in a
+// node's list is that node's "port" to the neighbor, matching the
+// paper's port-numbered anonymous network model.
+type Graph struct {
+	adj [][]int32
+	m   int // number of edges
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// FromEdges builds a graph on n vertices from an edge list. Self-loops
+// are rejected; duplicate edges are deduplicated.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		g.adj[u] = append(g.adj[u], int32(v))
+		g.adj[v] = append(g.adj[v], int32(u))
+		g.m++
+	}
+	g.normalize()
+	return g, nil
+}
+
+// MustFromEdges is FromEdges but panics on error; for tests and
+// generators with statically valid input.
+func MustFromEdges(n int, edges [][2]int) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) normalize() {
+	for _, nb := range g.adj {
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// Neighbor returns the neighbor of v reached through the given port.
+func (g *Graph) Neighbor(v, port int) int { return int(g.adj[v][port]) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, in sorted order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u, nb := range g.adj {
+		for _, w := range nb {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the connected components as sorted vertex slices,
+// ordered by smallest vertex.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		cur := []int{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cur = append(cur, v)
+			for _, w := range g.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, int(w))
+				}
+			}
+		}
+		sort.Ints(cur)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// IsConnected reports whether the graph is connected (the empty graph
+// and singleton graphs are connected).
+func (g *Graph) IsConnected() bool {
+	return g.N() <= 1 || len(g.Components()) == 1
+}
+
+// Induced returns the subgraph induced by the given vertex set, along
+// with the mapping from new indices to original vertices. Vertices are
+// renumbered 0..len(vs)-1 in sorted order of the originals.
+func (g *Graph) Induced(vs []int) (*Graph, []int) {
+	sorted := append([]int(nil), vs...)
+	sort.Ints(sorted)
+	// Deduplicate.
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	index := make(map[int]int, len(uniq))
+	for i, v := range uniq {
+		index[v] = i
+	}
+	sub := New(len(uniq))
+	for i, v := range uniq {
+		for _, w := range g.adj[v] {
+			if j, ok := index[int(w)]; ok && j > i {
+				sub.adj[i] = append(sub.adj[i], int32(j))
+				sub.adj[j] = append(sub.adj[j], int32(i))
+				sub.m++
+			}
+		}
+	}
+	sub.normalize()
+	mapping := append([]int(nil), uniq...)
+	return sub, mapping
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.m = g.m
+	for i, nb := range g.adj {
+		c.adj[i] = append([]int32(nil), nb...)
+	}
+	return c
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.N(), g.M(), g.MaxDegree())
+}

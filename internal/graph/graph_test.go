@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d, want 4", g.N())
+	}
+	if g.M() != 3 {
+		t.Errorf("M = %d, want 3 (duplicate collapsed)", g.M())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge(1,2) should hold in both directions")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) should be false")
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Errorf("Degree(1) = %d, want 2", d)
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("expected error for self-loop")
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("expected error for out-of-range vertex")
+	}
+	if _, err := FromEdges(3, [][2]int{{-1, 0}}); err == nil {
+		t.Error("expected error for negative vertex")
+	}
+}
+
+func TestNeighborsSortedAndPorts(t *testing.T) {
+	g := MustFromEdges(5, [][2]int{{2, 4}, {2, 0}, {2, 3}, {2, 1}})
+	nb := g.Neighbors(2)
+	want := []int32{0, 1, 3, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("len = %d, want %d", len(nb), len(want))
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Errorf("port %d -> %d, want %d", i, nb[i], want[i])
+		}
+		if g.Neighbor(2, i) != int(want[i]) {
+			t.Errorf("Neighbor(2,%d) = %d, want %d", i, g.Neighbor(2, i), want[i])
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := MustFromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4", len(comps))
+	}
+	if got := comps[0]; len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("first component = %v, want [0 1 2]", got)
+	}
+	if g.IsConnected() {
+		t.Error("graph should not be connected")
+	}
+	if !Cycle(5).IsConnected() {
+		t.Error("cycle should be connected")
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := Cycle(6)
+	sub, mapping := g.Induced([]int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("induced N = %d, want 4", sub.N())
+	}
+	if sub.M() != 2 { // edges {0,1},{1,2}; vertex 4 isolated
+		t.Errorf("induced M = %d, want 2", sub.M())
+	}
+	if mapping[3] != 4 {
+		t.Errorf("mapping[3] = %d, want 4", mapping[3])
+	}
+	// Duplicate input vertices are collapsed.
+	sub2, _ := g.Induced([]int{3, 3, 3})
+	if sub2.N() != 1 {
+		t.Errorf("induced with duplicates N = %d, want 1", sub2.N())
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantN     int
+		wantM     int // -1 to skip
+		connected bool
+	}{
+		{"cycle5", Cycle(5), 5, 5, true},
+		{"cycle2", Cycle(2), 2, 1, true},
+		{"path4", Path(4), 4, 3, true},
+		{"path1", Path(1), 1, 0, true},
+		{"complete6", Complete(6), 6, 15, true},
+		{"star7", Star(7), 7, 6, true},
+		{"grid3x4", Grid(3, 4), 12, 17, true},
+		{"btree7", BinaryTree(7), 7, 6, true},
+		{"randomtree50", RandomTree(50, rng), 50, 49, true},
+		{"caterpillar", Caterpillar(5, 8), 13, 12, true},
+		{"pa", PreferentialAttachment(40, 2, rng), 40, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", tt.g.N(), tt.wantN)
+			}
+			if tt.wantM >= 0 && tt.g.M() != tt.wantM {
+				t.Errorf("M = %d, want %d", tt.g.M(), tt.wantM)
+			}
+			if tt.connected != tt.g.IsConnected() {
+				t.Errorf("IsConnected = %v, want %v", tt.g.IsConnected(), tt.connected)
+			}
+		})
+	}
+}
+
+func TestGNPEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if g := GNP(10, 0, rng); g.M() != 0 {
+		t.Errorf("GNP p=0 has %d edges", g.M())
+	}
+	if g := GNP(10, 1, rng); g.M() != 45 {
+		t.Errorf("GNP p=1 has %d edges, want 45", g.M())
+	}
+	if g := GNP(1, 0.5, rng); g.N() != 1 || g.M() != 0 {
+		t.Errorf("GNP n=1 = %v", g)
+	}
+}
+
+func TestGNPEdgeCountConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, p := 400, 0.05
+	g := GNP(n, p, rng)
+	mean := p * float64(n*(n-1)) / 2
+	if f := float64(g.M()); f < 0.7*mean || f > 1.3*mean {
+		t.Errorf("GNP edge count %d far from mean %.0f", g.M(), mean)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RandomRegular(100, 4, rng)
+	if g.MaxDegree() > 4 {
+		t.Errorf("max degree %d > 4", g.MaxDegree())
+	}
+	// Most vertices hit the target degree.
+	full := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 4 {
+			full++
+		}
+	}
+	if full < 80 {
+		t.Errorf("only %d/100 vertices reached degree 4", full)
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomGeometric(200, 0.15, rng)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() == 0 {
+		t.Error("geometric graph with r=0.15 on 200 points should have edges")
+	}
+	if g2 := RandomGeometric(10, 0, rng); g2.M() != 0 {
+		t.Error("r=0 must give empty graph")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := DisjointUnion(Cycle(3), Path(2), New(1))
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	if g.M() != 4 {
+		t.Errorf("M = %d, want 4", g.M())
+	}
+	if !g.HasEdge(3, 4) {
+		t.Error("path edge should be offset to (3,4)")
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("no edge should cross blocks")
+	}
+	if comps := g.Components(); len(comps) != 3 {
+		t.Errorf("components = %d, want 3", len(comps))
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(Star(5))
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestSortedComponentSizes(t *testing.T) {
+	g := DisjointUnion(Cycle(4), Path(2), New(3))
+	sizes := SortedComponentSizes(g)
+	want := []int{4, 2, 1, 1, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Cycle(4)
+	c := g.Clone()
+	c.adj[0][0] = 99
+	if g.adj[0][0] == 99 {
+		t.Error("Clone must deep-copy adjacency")
+	}
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Error("Clone must preserve sizes")
+	}
+}
+
+// Property: every generated graph has symmetric, sorted, self-loop-free
+// adjacency and consistent edge count.
+func TestQuickGraphInvariants(t *testing.T) {
+	check := func(g *Graph) bool {
+		total := 0
+		for u := 0; u < g.N(); u++ {
+			nb := g.Neighbors(u)
+			for i, w := range nb {
+				if int(w) == u {
+					return false // self-loop
+				}
+				if i > 0 && nb[i-1] >= w {
+					return false // unsorted or duplicate
+				}
+				if !g.HasEdge(int(w), u) {
+					return false // asymmetric
+				}
+			}
+			total += len(nb)
+		}
+		return total == 2*g.M()
+	}
+	f := func(seed int64, nn uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%60) + 2
+		d := 3
+		if d >= n {
+			d = n - 1
+		}
+		gs := []*Graph{
+			GNP(n, 0.2, rng),
+			RandomTree(n, rng),
+			PreferentialAttachment(n, 2, rng),
+			RandomRegular(n, d, rng),
+			RandomGeometric(n, 0.3, rng),
+			Cycle(n), Path(n), Star(n), BinaryTree(n),
+		}
+		for _, g := range gs {
+			if !check(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		g := RandomTree(n, rng)
+		if g.N() != n {
+			t.Fatalf("n=%d: N = %d", n, g.N())
+		}
+		if n > 0 && g.M() != n-1 {
+			t.Errorf("n=%d: M = %d, want %d", n, g.M(), n-1)
+		}
+		if !g.IsConnected() {
+			t.Errorf("n=%d: tree not connected", n)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes g in the plain interchange format used by
+// cmd/graphgen: a "# n m" header line followed by one "u v" pair per
+// line with u < v, in sorted order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with "%" or "//" are ignored; a leading "# n m" header fixes
+// the vertex count (otherwise it is inferred as max index + 1).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := -1
+	var edges [][2]int
+	maxV := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var hn, hm int
+			if _, err := fmt.Sscanf(line, "# %d %d", &hn, &hm); err == nil {
+				n = hn
+			}
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", lineNo, line, err)
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	if n < maxV+1 {
+		return nil, fmt.Errorf("graph: header n=%d below max vertex %d", n, maxV)
+	}
+	return FromEdges(n, edges)
+}

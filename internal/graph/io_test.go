@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []*Graph{
+		Cycle(12),
+		GNP(50, 0.1, rng),
+		New(5), // isolated vertices survive via the header
+		Hypercube(4),
+	} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip: got n=%d m=%d, want n=%d m=%d",
+				back.N(), back.M(), g.N(), g.M())
+		}
+		for u := 0; u < g.N(); u++ {
+			nb, nb2 := g.Neighbors(u), back.Neighbors(u)
+			if len(nb) != len(nb2) {
+				t.Fatalf("vertex %d adjacency mismatch", u)
+			}
+			for i := range nb {
+				if nb[i] != nb2[i] {
+					t.Fatalf("vertex %d adjacency mismatch", u)
+				}
+			}
+		}
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "% comment\n\n// another\n# 4 2\n0 1\n\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Errorf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0 x\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("# 2 1\n0 5\n")); err == nil {
+		t.Error("vertex beyond header accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 1\n")); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d, want 16/32", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Q4 vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("hypercube must be connected")
+	}
+	if q0 := Hypercube(0); q0.N() != 1 || q0.M() != 0 {
+		t.Error("Q0 should be a single vertex")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	// 2-wide torus collapses duplicate wrap edges.
+	g2 := Torus(2, 3)
+	if g2.MaxDegree() > 4 {
+		t.Errorf("2x3 torus max degree %d", g2.MaxDegree())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K3,4: n=%d m=%d", g.N(), g.M())
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("no edges within a part")
+	}
+	if !g.HasEdge(0, 3) {
+		t.Error("cross edges missing")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 3)
+	if g.N() != 13 {
+		t.Fatalf("n = %d", g.N())
+	}
+	wantM := 2*10 + 4 // two K5s + path of 3 intermediates (4 bridge edges)
+	if g.M() != wantM {
+		t.Errorf("m = %d, want %d", g.M(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Error("barbell must be connected")
+	}
+	// Zero-length path: single bridging edge.
+	g0 := Barbell(4, 0)
+	if g0.M() != 2*6+1 || !g0.IsConnected() {
+		t.Errorf("barbell(4,0): m=%d connected=%v", g0.M(), g0.IsConnected())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(6, 4)
+	if g.N() != 10 || g.M() != 15+4 {
+		t.Fatalf("lollipop: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("lollipop must be connected")
+	}
+	if g.Degree(9) != 1 {
+		t.Error("tail end should be degree 1")
+	}
+}

@@ -1,0 +1,161 @@
+// Package greedy implements the sequential randomized greedy MIS
+// algorithm and the two structural properties of it that Awake-MIS
+// rests on (§3, §4):
+//
+//   - composability: running greedy on a prefix of the order, removing
+//     the MIS's closed neighborhood, and continuing on the remainder
+//     yields the greedy MIS of the whole order;
+//   - residual sparsity (Lemma 2): after processing the first t nodes,
+//     the graph induced by the undecided nodes among the first t′ has
+//     maximum degree ≈ (t′/t)·ln(n/ε) w.h.p.;
+//   - shattering (Lemma 3): partitioning a max-degree-Δ graph into 2Δ
+//     random classes leaves components of size ≤ 6·ln(n/ε) w.h.p.
+package greedy
+
+import (
+	"math/rand"
+
+	"awakemis/internal/graph"
+)
+
+// RandomOrder returns a uniformly random permutation of 0..n-1.
+func RandomOrder(n int, rng *rand.Rand) []int {
+	order := rng.Perm(n)
+	return order
+}
+
+// MIS runs sequential randomized greedy MIS with a fresh uniform order
+// and returns the selection and the order used.
+func MIS(g *graph.Graph, rng *rand.Rand) (in []bool, order []int) {
+	order = RandomOrder(g.N(), rng)
+	return WithOrder(g, order), order
+}
+
+// WithOrder runs sequential greedy MIS with the given processing order
+// and returns the LFMIS with respect to it.
+func WithOrder(g *graph.Graph, order []int) []bool {
+	in := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return in
+}
+
+// Prefix runs greedy MIS on only the first t nodes of the order and
+// returns the partial selection (the LFMIS of G[V_t]).
+func Prefix(g *graph.Graph, order []int, t int) []bool {
+	if t > len(order) {
+		t = len(order)
+	}
+	return WithOrder(g, order[:t])
+}
+
+// Residual returns the vertices among the first t′ of the order that
+// are neither in the prefix-MIS mt nor adjacent to it — the set
+// V_{t′} \ N(M_t) of Lemma 2.
+func Residual(g *graph.Graph, order []int, mt []bool, tPrime int) []int {
+	if tPrime > len(order) {
+		tPrime = len(order)
+	}
+	out := []int{}
+	for _, v := range order[:tPrime] {
+		if mt[v] {
+			continue
+		}
+		blocked := false
+		for _, w := range g.Neighbors(v) {
+			if mt[w] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ResidualMaxDegree runs the Lemma 2 experiment: it computes the
+// maximum degree of G[V_{t′} \ N(M_t)] for the given order.
+func ResidualMaxDegree(g *graph.Graph, order []int, t, tPrime int) int {
+	mt := Prefix(g, order, t)
+	res := Residual(g, order, mt, tPrime)
+	sub, _ := g.Induced(res)
+	return sub.MaxDegree()
+}
+
+// Compose verifies the composability property constructively: it runs
+// greedy on order[:t], removes N(M_t), runs greedy on the remaining
+// order, and returns the union selection. By §3 this equals
+// WithOrder(g, order).
+func Compose(g *graph.Graph, order []int, t int) []bool {
+	if t > len(order) {
+		t = len(order)
+	}
+	mt := Prefix(g, order, t)
+	in := append([]bool(nil), mt...)
+	blocked := make([]bool, g.N())
+	for v := range mt {
+		if mt[v] {
+			blocked[v] = true
+			for _, w := range g.Neighbors(v) {
+				blocked[w] = true
+			}
+		}
+	}
+	for _, v := range order[t:] {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return in
+}
+
+// Shatter partitions the vertices of h into 2Δ classes uniformly at
+// random (Δ = max degree, forced ≥ 1) and returns, for each class, the
+// sizes of the connected components of the induced subgraph — the
+// Lemma 3 experiment.
+func Shatter(h *graph.Graph, rng *rand.Rand) [][]int {
+	delta := h.MaxDegree()
+	if delta < 1 {
+		delta = 1
+	}
+	classes := 2 * delta
+	assign := make([]int, h.N())
+	members := make([][]int, classes)
+	for v := range assign {
+		c := rng.Intn(classes)
+		assign[v] = c
+		members[c] = append(members[c], v)
+	}
+	out := make([][]int, classes)
+	for c, vs := range members {
+		sub, _ := h.Induced(vs)
+		out[c] = graph.SortedComponentSizes(sub)
+	}
+	return out
+}
+
+// MaxShatteredComponent returns the largest component size over all
+// classes of a Shatter result (0 if all classes are empty).
+func MaxShatteredComponent(shatter [][]int) int {
+	max := 0
+	for _, sizes := range shatter {
+		if len(sizes) > 0 && sizes[0] > max {
+			max = sizes[0]
+		}
+	}
+	return max
+}

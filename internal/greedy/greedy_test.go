@@ -1,0 +1,174 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/verify"
+)
+
+func TestMISValidOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := map[string]*graph.Graph{
+		"cycle":    graph.Cycle(31),
+		"path":     graph.Path(17),
+		"complete": graph.Complete(12),
+		"star":     graph.Star(20),
+		"gnp":      graph.GNP(100, 0.1, rng),
+		"tree":     graph.RandomTree(60, rng),
+		"grid":     graph.Grid(8, 9),
+		"empty":    graph.New(10),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			in, order := MIS(g, rng)
+			if err := verify.CheckMIS(g, in); err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.CheckLFMIS(g, in, order); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCompleteGraphPicksFirst(t *testing.T) {
+	g := graph.Complete(8)
+	order := []int{5, 2, 0, 1, 3, 4, 6, 7}
+	in := WithOrder(g, order)
+	if !in[5] || verify.Size(in) != 1 {
+		t.Errorf("complete graph MIS must be exactly the first node; got %v", in)
+	}
+}
+
+// TestComposability verifies the composability property of §3 for many
+// random (graph, order, t) triples.
+func TestComposability(t *testing.T) {
+	f := func(seed int64, nn, tt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%60) + 1
+		g := graph.GNP(n, 0.25, rng)
+		order := rng.Perm(n)
+		cut := int(tt) % (n + 1)
+		whole := WithOrder(g, order)
+		composed := Compose(g, order, cut)
+		for v := range whole {
+			if whole[v] != composed[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma2ResidualSparsity checks the residual sparsity bound: after
+// processing t of n nodes, the residual graph among the first t′ has
+// max degree at most (t′/t)·ln(n/ε) — we test with ε = 1/n, i.e. bound
+// 2·(t′/t)·ln n, over several random graphs.
+func TestLemma2ResidualSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 600
+	for trial := 0; trial < 5; trial++ {
+		g := graph.GNP(n, 0.08, rng)
+		order := rng.Perm(n)
+		for _, tc := range []struct{ t, tp int }{
+			{50, 100}, {50, 600}, {100, 300}, {200, 600},
+		} {
+			got := ResidualMaxDegree(g, order, tc.t, tc.tp)
+			bound := float64(tc.tp) / float64(tc.t) * 2 * math.Log(float64(n))
+			if float64(got) > bound {
+				t.Errorf("trial %d t=%d t'=%d: residual max degree %d > bound %.1f",
+					trial, tc.t, tc.tp, got, bound)
+			}
+		}
+	}
+}
+
+// TestLemma2Monotone sanity-checks that processing a larger prefix
+// leaves a (weakly) sparser residual graph on the same suffix window.
+func TestLemma2Monotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.GNP(400, 0.2, rng)
+	order := rng.Perm(400)
+	dSmall := ResidualMaxDegree(g, order, 20, 400)
+	dLarge := ResidualMaxDegree(g, order, 200, 400)
+	if dLarge > dSmall {
+		t.Errorf("residual degree after t=200 (%d) exceeds after t=20 (%d)", dLarge, dSmall)
+	}
+}
+
+// TestLemma3Shattering checks that partitioning a bounded-degree graph
+// into 2Δ random classes leaves components of size ≤ 6·ln(n/ε), tested
+// with ε = 1/n (bound 12 ln n).
+func TestLemma3Shattering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		h := graph.RandomRegular(800, 6, rng)
+		sizes := Shatter(h, rng)
+		if len(sizes) != 2*h.MaxDegree() {
+			t.Fatalf("expected 2Δ classes, got %d", len(sizes))
+		}
+		got := MaxShatteredComponent(sizes)
+		bound := 12 * math.Log(float64(h.N()))
+		if float64(got) > bound {
+			t.Errorf("trial %d: max shattered component %d > bound %.1f", trial, got, bound)
+		}
+	}
+}
+
+func TestShatterEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Empty graph: Δ forced to 1, two classes, all singleton components.
+	sizes := Shatter(graph.New(5), rng)
+	if len(sizes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(sizes))
+	}
+	if got := MaxShatteredComponent(sizes); got != 1 {
+		t.Errorf("max component = %d, want 1", got)
+	}
+	if got := MaxShatteredComponent([][]int{{}, {}}); got != 0 {
+		t.Errorf("all-empty classes: max = %d, want 0", got)
+	}
+}
+
+func TestPrefixAndResidual(t *testing.T) {
+	g := graph.Path(5)
+	order := []int{0, 1, 2, 3, 4}
+	mt := Prefix(g, order, 1) // {0}
+	if !mt[0] || verify.Size(mt) != 1 {
+		t.Fatalf("prefix MIS = %v", mt)
+	}
+	res := Residual(g, order, mt, 5)
+	// 0 in MIS, 1 blocked; 2,3,4 remain.
+	want := []int{2, 3, 4}
+	if len(res) != len(want) {
+		t.Fatalf("residual = %v, want %v", res, want)
+	}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("residual = %v, want %v", res, want)
+		}
+	}
+	// t beyond length is clipped.
+	if got := Prefix(g, order, 99); verify.Size(got) != 3 {
+		t.Errorf("full prefix MIS size = %d, want 3", verify.Size(got))
+	}
+}
+
+func TestRandomOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	order := RandomOrder(10, rng)
+	seen := make([]bool, 10)
+	for _, v := range order {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,421 @@
+// Package ldt implements Labeled Distance Trees (§5.2, Appendix A):
+// oriented, depth-labeled spanning trees over a connected participant
+// set, together with the awake-efficient tree procedures the paper
+// builds on them — upcast, downcast (Fragment-Broadcast), adjacent
+// exchange (Transmit-Adjacent), ranking, chunked root broadcasts — and
+// two distributed constructions:
+//
+//   - ConstructAwake: a randomized fragment-merging construction with
+//     O(log n′) awake complexity w.h.p. (substitute for Theorem 4 of
+//     [Augustine–Moses–Pandurangan 2022], whose deterministic
+//     construction lives in a different paper; see DESIGN.md §2).
+//   - ConstructRound: the deterministic construction of Appendix A
+//     (GHS-style fragment merging with Cole–Vishkin 6-coloring and
+//     fragment matching), with O((log n′)·log* I) awake complexity.
+//
+// All procedures are scheduled as fixed windows of rounds derived from
+// the known component-size bound np, so every participant computes the
+// same timetable locally and sleeps outside its O(1) awake rounds per
+// window — exactly the transmission-schedule idea of Appendix A.1
+// (split here into an upcast half-window and a downcast half-window).
+package ldt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"awakemis/internal/bitio"
+	"awakemis/internal/sim"
+)
+
+// Window spans: an adjacent exchange takes one round; a tree half-window
+// (upcast, downcast, or relabel wave) takes np+1 rounds, indexed by
+// depth offsets as described on each primitive.
+const spanAdjacent = 1
+
+func spanWindow(np int) int64 { return int64(np) + 1 }
+
+// message kinds
+const (
+	kHello   uint8 = iota + 1
+	kRoot          // adjacent: fragment identity (and phase payloads)
+	kUp            // upcast value
+	kDown          // downcast value
+	kRelabel       // relabel wave value
+	kChunk         // broadcast chunk
+)
+
+// opMsg is the general LDT control message: a kind tag plus up to a few
+// small integer fields. Bits accounts 5 bits for the kind, 3 for the
+// field count, and sign+magnitude for each field, keeping every control
+// message within O(log I) bits.
+type opMsg struct {
+	Kind uint8
+	F    []int64
+}
+
+// Bits implements sim.Message.
+func (m opMsg) Bits() int {
+	b := 5 + 3
+	for _, f := range m.F {
+		b += bitio.IntBits(f)
+	}
+	return b
+}
+
+// chunkMsg carries one chunk of a root broadcast payload.
+type chunkMsg struct {
+	Data  []byte
+	NBits int
+}
+
+// Bits implements sim.Message.
+func (m chunkMsg) Bits() int { return 8 + m.NBits }
+
+var (
+	_ sim.Message = opMsg{}
+	_ sim.Message = chunkMsg{}
+)
+
+// Proc is a node's participation in one LDT session over a connected
+// participant set of at most np nodes. All participants must construct
+// their Proc with the same base round and np; the window cursor then
+// advances identically everywhere, which is what synchronizes the
+// schedule without communication.
+type Proc struct {
+	ctx *sim.Ctx
+	np  int
+	cur int64 // next unallocated sim round
+	id  int64 // unique node ID in [1, I]
+
+	// Topology discovered by Hello.
+	active []int         // ports to participants, ascending
+	nbrID  map[int]int64 // port -> participant neighbor's ID
+
+	// LDT state.
+	rootID     int64
+	depth      int
+	parentPort int   // -1 at the root
+	children   []int // ports, ascending
+}
+
+// NewProc prepares an LDT session starting at sim round base. The
+// caller must currently be in an awake round strictly before base.
+func NewProc(ctx *sim.Ctx, base int64, id int64, np int) *Proc {
+	if np < 1 {
+		panic(fmt.Sprintf("ldt: np=%d", np))
+	}
+	return &Proc{
+		ctx:        ctx,
+		np:         np,
+		cur:        base,
+		id:         id,
+		nbrID:      map[int]int64{},
+		rootID:     id,
+		parentPort: -1,
+	}
+}
+
+// Cursor returns the first sim round not consumed by the session so far.
+func (p *Proc) Cursor() int64 { return p.cur }
+
+// ID returns the node's ID.
+func (p *Proc) ID() int64 { return p.id }
+
+// RootID returns the LDT identifier (the root's node ID).
+func (p *Proc) RootID() int64 { return p.rootID }
+
+// Depth returns the node's depth in the LDT.
+func (p *Proc) Depth() int { return p.depth }
+
+// IsRoot reports whether this node is the LDT root.
+func (p *Proc) IsRoot() bool { return p.parentPort < 0 }
+
+// Active returns the ports leading to participating neighbors.
+func (p *Proc) Active() []int { return p.active }
+
+// wake ends the current round and wakes at sim round r (r must exceed
+// the current round, which the monotone window allocation guarantees).
+func (p *Proc) wake(r int64) { p.ctx.SleepUntil(r) }
+
+// Hello runs the one-round participant discovery: everyone broadcasts
+// its ID on all ports; the awake senders are exactly the participants.
+func (p *Proc) Hello() {
+	w := p.cur
+	p.cur += spanAdjacent
+	p.wake(w)
+	p.ctx.Broadcast(opMsg{Kind: kHello, F: []int64{p.id}})
+	for _, m := range p.ctx.Deliver() {
+		if om, ok := m.Msg.(opMsg); ok && om.Kind == kHello {
+			p.active = append(p.active, m.Port)
+			p.nbrID[m.Port] = om.F[0]
+		}
+	}
+}
+
+// adjacent runs a one-round exchange among participants: if payload is
+// non-nil it is broadcast (with the given kind) on all active ports;
+// the returned inbox holds messages of that kind only.
+func (p *Proc) adjacent(kind uint8, payload []int64) []sim.Inbound {
+	w := p.cur
+	p.cur += spanAdjacent
+	p.wake(w)
+	if payload != nil {
+		for _, q := range p.active {
+			p.ctx.Send(q, opMsg{Kind: kind, F: payload})
+		}
+	}
+	in := p.ctx.Deliver()
+	out := in[:0]
+	for _, m := range in {
+		if om, ok := m.Msg.(opMsg); ok && om.Kind == kind {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// upcast runs one upcast half-window: a node at depth d listens for its
+// children's values at offset np-d-1 and sends its merged value to its
+// parent at offset np-d. own is the node's contribution (nil for
+// none); merge folds child values into the accumulator. It returns the
+// node's accumulated value (at the root: the tree-wide aggregate) and
+// the per-port child values.
+func (p *Proc) upcast(own []int64, merge func(acc, in []int64) []int64) ([]int64, map[int][]int64) {
+	w := p.cur
+	p.cur += spanWindow(p.np)
+	acc := own
+	var childVals map[int][]int64
+	if len(p.children) > 0 {
+		p.wake(w + int64(p.np-p.depth-1))
+		childVals = map[int][]int64{}
+		for _, m := range p.ctx.Deliver() {
+			om, ok := m.Msg.(opMsg)
+			if !ok || om.Kind != kUp {
+				continue
+			}
+			childVals[m.Port] = om.F
+			acc = merge(acc, om.F)
+		}
+	}
+	if p.parentPort >= 0 && acc != nil {
+		p.wake(w + int64(p.np-p.depth))
+		p.ctx.Send(p.parentPort, opMsg{Kind: kUp, F: acc})
+		p.ctx.Deliver()
+	}
+	return acc, childVals
+}
+
+// downcast runs one downcast half-window: a node at depth d receives
+// its value from its parent at offset d-1 and sends per-child values at
+// offset d. rootVal seeds the root; perChild derives what each child
+// receives (nil perChild forwards the node's value unchanged). Nodes
+// whose parent sends nothing receive nil and send nothing.
+func (p *Proc) downcast(rootVal []int64, perChild func(mine []int64, port int) []int64) []int64 {
+	w := p.cur
+	p.cur += spanWindow(p.np)
+	var mine []int64
+	if p.parentPort < 0 {
+		mine = rootVal
+	} else {
+		p.wake(w + int64(p.depth-1))
+		for _, m := range p.ctx.Deliver() {
+			if om, ok := m.Msg.(opMsg); ok && om.Kind == kDown && m.Port == p.parentPort {
+				mine = om.F
+			}
+		}
+	}
+	if len(p.children) > 0 && mine != nil {
+		p.wake(w + int64(p.depth))
+		for _, q := range p.children {
+			out := mine
+			if perChild != nil {
+				out = perChild(mine, q)
+			}
+			if out != nil {
+				p.ctx.Send(q, opMsg{Kind: kDown, F: out})
+			}
+		}
+		p.ctx.Deliver()
+	}
+	return mine
+}
+
+// pending carries a node's not-yet-applied relabeling after a merge:
+// its new root ID, depth, parent port, and (for path nodes) the child
+// port the wave arrived through.
+type pending struct {
+	rootID   int64
+	depth    int
+	parent   int
+	viaChild int // -1 for non-path nodes and the attachment initiator
+}
+
+// upRelabel runs the first relabel half-window (Appendix A, stage 3b):
+// the wave climbs from the attachment node to the old fragment root
+// along old-depth offsets, reversing parent pointers. pend non-nil
+// marks this node as the attachment initiator.
+func (p *Proc) upRelabel(pend *pending) *pending {
+	w := p.cur
+	p.cur += spanWindow(p.np)
+	if len(p.children) > 0 {
+		p.wake(w + int64(p.np-p.depth-1))
+		for _, m := range p.ctx.Deliver() {
+			om, ok := m.Msg.(opMsg)
+			if !ok || om.Kind != kRelabel || pend != nil {
+				continue
+			}
+			pend = &pending{
+				rootID:   om.F[0],
+				depth:    int(om.F[1]) + 1,
+				parent:   m.Port,
+				viaChild: m.Port,
+			}
+		}
+	}
+	if pend != nil && p.parentPort >= 0 {
+		p.wake(w + int64(p.np-p.depth))
+		p.ctx.Send(p.parentPort, opMsg{Kind: kRelabel, F: []int64{pend.rootID, int64(pend.depth)}})
+		p.ctx.Deliver()
+	}
+	return pend
+}
+
+// downRelabel runs the second relabel half-window: nodes off the
+// reversal path learn their new root ID and depth from their (old)
+// parent, along old-depth offsets.
+func (p *Proc) downRelabel(pend *pending) *pending {
+	w := p.cur
+	p.cur += spanWindow(p.np)
+	if p.parentPort >= 0 {
+		p.wake(w + int64(p.depth-1))
+		for _, m := range p.ctx.Deliver() {
+			om, ok := m.Msg.(opMsg)
+			if !ok || om.Kind != kRelabel || m.Port != p.parentPort {
+				continue
+			}
+			if pend == nil {
+				pend = &pending{
+					rootID:   om.F[0],
+					depth:    int(om.F[1]) + 1,
+					parent:   p.parentPort,
+					viaChild: -1,
+				}
+			}
+		}
+	}
+	if len(p.children) > 0 && pend != nil {
+		p.wake(w + int64(p.depth))
+		for _, q := range p.children {
+			p.ctx.Send(q, opMsg{Kind: kRelabel, F: []int64{pend.rootID, int64(pend.depth)}})
+		}
+		p.ctx.Deliver()
+	}
+	return pend
+}
+
+// applyPending installs a relabel: path nodes (viaChild >= 0) reverse
+// orientation — the wave's child becomes the parent and the old parent
+// becomes a child; the attachment initiator keeps its prepared external
+// parent and gains its old parent as a child.
+func (p *Proc) applyPending(pend *pending, oldParent int) {
+	if pend == nil {
+		return
+	}
+	p.rootID = pend.rootID
+	p.depth = pend.depth
+	if pend.viaChild >= 0 {
+		p.removeChild(pend.viaChild)
+		if oldParent >= 0 {
+			p.addChild(oldParent)
+		}
+		p.parentPort = pend.viaChild
+	} else if pend.parent != oldParent {
+		// Attachment initiator: parent moves to the external port.
+		if oldParent >= 0 {
+			p.addChild(oldParent)
+		}
+		p.parentPort = pend.parent
+	}
+	// Non-path nodes (viaChild < 0, parent unchanged) keep orientation.
+}
+
+func (p *Proc) addChild(q int) {
+	for i, c := range p.children {
+		if c == q {
+			return
+		} else if c > q {
+			p.children = append(p.children[:i], append([]int{q}, p.children[i:]...)...)
+			return
+		}
+	}
+	p.children = append(p.children, q)
+}
+
+func (p *Proc) removeChild(q int) {
+	for i, c := range p.children {
+		if c == q {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// minEdge returns the node's minimum incident outgoing edge as
+// (lo, hi) with respect to current fragment IDs, or nil if none.
+func (p *Proc) minEdge(nbrRoot map[int]int64) []int64 {
+	var best []int64
+	for _, q := range p.active {
+		r, ok := nbrRoot[q]
+		if !ok || r == p.rootID {
+			continue
+		}
+		lo, hi := p.id, p.nbrID[q]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if best == nil || lo < best[0] || (lo == best[0] && hi < best[1]) {
+			best = []int64{lo, hi}
+		}
+	}
+	return best
+}
+
+// edgePort returns the active port realizing edge (lo, hi) incident to
+// this node, or -1.
+func (p *Proc) edgePort(lo, hi int64) int {
+	other := int64(-1)
+	switch p.id {
+	case lo:
+		other = hi
+	case hi:
+		other = lo
+	default:
+		return -1
+	}
+	for _, q := range p.active {
+		if p.nbrID[q] == other {
+			return q
+		}
+	}
+	return -1
+}
+
+// mergeMinEdge folds upcast min-edge values.
+func mergeMinEdge(acc, in []int64) []int64 {
+	if in == nil {
+		return acc
+	}
+	if acc == nil || in[0] < acc[0] || (in[0] == acc[0] && in[1] < acc[1]) {
+		return in
+	}
+	return acc
+}
+
+// log2ceil returns ⌈log₂ x⌉ for x ≥ 1.
+func log2ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}

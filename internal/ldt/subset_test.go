@@ -1,0 +1,147 @@
+package ldt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/sim"
+)
+
+// TestSubsetParticipation exercises the mode Awake-MIS actually uses:
+// only a subset of nodes runs the LDT session while the rest sleep.
+// Participants must discover exactly each other through Hello (the
+// sleeping model silently hides non-participants) and build one LDT per
+// connected component of the induced subgraph.
+func TestSubsetParticipation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Grid(6, 6) // 36 nodes
+	// Participants: a checkerboard-ish random half.
+	participant := make([]bool, g.N())
+	var members []int
+	for v := range participant {
+		if rng.Intn(2) == 0 {
+			participant[v] = true
+			members = append(members, v)
+		}
+	}
+	if len(members) < 5 {
+		t.Skip("degenerate sample")
+	}
+	sub, mapping := g.Induced(members)
+	np := 1
+	for _, c := range sub.Components() {
+		if len(c) > np {
+			np = len(c)
+		}
+	}
+
+	h := &harness{snaps: map[int]*snapshot{}}
+	ids := rand.New(rand.NewSource(7)).Perm(1 << 12)
+	prog := func(ctx *sim.Ctx) {
+		if !participant[ctx.Node()] {
+			return // non-participants drop out immediately
+		}
+		id := int64(ids[ctx.Node()] + 1)
+		p := NewProc(ctx, 1, id, np)
+		p.Hello()
+		// Hello must discover exactly the participating neighbors.
+		wantDeg := 0
+		for _, w := range g.Neighbors(ctx.Node()) {
+			if participant[w] {
+				wantDeg++
+			}
+		}
+		if len(p.Active()) != wantDeg {
+			t.Errorf("node %d discovered %d participants, want %d",
+				ctx.Node(), len(p.Active()), wantDeg)
+		}
+		p.ConstructAwake(DefaultAwakePhases(np))
+		h.put(ctx.Node(), &snapshot{id: id, rootID: p.rootID, depth: p.depth,
+			parentPort: p.parentPort, children: append([]int(nil), p.children...)})
+	}
+	if _, err := sim.Run(g, prog, sim.Config{Seed: 3, N: 1 << 12, Strict: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate per component of the induced subgraph, using original ids.
+	for ci, comp := range sub.Components() {
+		rootID := h.snaps[mapping[comp[0]]].rootID
+		rootSeen := false
+		for _, sv := range comp {
+			v := mapping[sv]
+			s := h.snaps[v]
+			if s == nil {
+				t.Fatalf("participant %d has no snapshot", v)
+			}
+			if s.rootID != rootID {
+				t.Fatalf("component %d: node %d rootID %d != %d", ci, v, s.rootID, rootID)
+			}
+			if s.id == rootID {
+				rootSeen = true
+				if s.parentPort != -1 {
+					t.Fatalf("root %d has a parent", v)
+				}
+			}
+			// Parent/child ports must lead to participants.
+			if s.parentPort >= 0 && !participant[g.Neighbor(v, s.parentPort)] {
+				t.Fatalf("node %d parent port leads to a sleeper", v)
+			}
+			for _, q := range s.children {
+				if !participant[g.Neighbor(v, q)] {
+					t.Fatalf("node %d child port leads to a sleeper", v)
+				}
+			}
+		}
+		if !rootSeen {
+			t.Fatalf("component %d: root ID %d not owned by a member", ci, rootID)
+		}
+	}
+}
+
+// TestQuickConstructionsOnRandomGraphs property-tests both
+// constructions over random connected graphs.
+func TestQuickConstructionsOnRandomGraphs(t *testing.T) {
+	f := func(seed int64, nn uint8, det bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%14) + 2
+		g := connectify(graph.GNP(n, 0.3, rng))
+		h := &harness{snaps: map[int]*snapshot{}}
+		ids := rng.Perm(1 << 12)
+		prog := func(ctx *sim.Ctx) {
+			id := int64(ids[ctx.Node()] + 1)
+			p := NewProc(ctx, 1, id, n)
+			p.Hello()
+			if det {
+				p.ConstructRound(DefaultRoundPhases(n))
+			} else {
+				p.ConstructAwake(DefaultAwakePhases(n))
+			}
+			rank, total := p.Rank()
+			h.put(ctx.Node(), &snapshot{id: id, rootID: p.rootID, depth: p.depth,
+				parentPort: p.parentPort, children: append([]int(nil), p.children...),
+				rank: rank, total: total})
+		}
+		if _, err := sim.Run(g, prog, sim.Config{Seed: seed, N: 1 << 12, Strict: true}); err != nil {
+			return false
+		}
+		// All same root; ranks form a permutation; totals equal n.
+		rootID := h.snaps[0].rootID
+		seen := make([]bool, n+1)
+		for v := 0; v < n; v++ {
+			s := h.snaps[v]
+			if s.rootID != rootID || s.total != n {
+				return false
+			}
+			if s.rank < 1 || s.rank > n || seen[s.rank] {
+				return false
+			}
+			seen[s.rank] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

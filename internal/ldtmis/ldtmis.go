@@ -1,0 +1,164 @@
+// Package ldtmis implements Algorithm LDT-MIS (§5.3, Lemma 11) and its
+// round-efficient sibling LDT-MIS-ROUND (Corollary 12): compute an
+// LFMIS with respect to a uniformly random node ordering, in O(log n′)
+// awake rounds even when node IDs come from a huge space I ≫ n′.
+//
+// The pipeline on each connected participant component of at most np
+// nodes: (1) build a labeled distance tree; (2) rank the nodes and
+// learn the exact component size; (3) the root draws a uniformly
+// random permutation and ships it down in O((n′ log n′)/log I) chunked
+// broadcasts; (4) each node adopts the permutation entry at its rank as
+// a fresh small ID and runs VT-MIS with those IDs.
+package ldtmis
+
+import (
+	"fmt"
+
+	"awakemis/internal/bitio"
+	"awakemis/internal/graph"
+	"awakemis/internal/ldt"
+	"awakemis/internal/misproto"
+	"awakemis/internal/sim"
+	"awakemis/internal/vtmis"
+)
+
+// Variant selects the LDT construction.
+type Variant int
+
+const (
+	// VariantAwake uses the randomized O(log n′)-awake construction
+	// (Theorem 13 pipeline).
+	VariantAwake Variant = iota
+	// VariantRound uses the deterministic Appendix A construction
+	// (Corollary 14 pipeline).
+	VariantRound
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == VariantRound {
+		return "round"
+	}
+	return "awake"
+}
+
+// constructPhases returns the phase budget for the variant.
+func constructPhases(v Variant, np int) int {
+	if v == VariantRound {
+		return ldt.DefaultRoundPhases(np)
+	}
+	return ldt.DefaultAwakePhases(np)
+}
+
+// permWidth is the fixed bit width of one permutation entry.
+func permWidth(np int) int { return bitio.UintBits(uint64(np)) }
+
+// permChunks returns the chunk geometry for shipping an np-entry
+// permutation under the given bandwidth.
+func permChunks(np, bandwidth int) (payloadBits, chunkBits, numChunks int) {
+	payloadBits = np * permWidth(np)
+	chunkBits = bandwidth / 2
+	if chunkBits < 1 {
+		chunkBits = 1
+	}
+	numChunks = ldt.NumChunks(payloadBits, chunkBits)
+	return payloadBits, chunkBits, numChunks
+}
+
+// Span returns the total number of rounds RunSub occupies from its
+// base round, for schedule pre-computation by composing algorithms
+// (Awake-MIS sizes its phases with this).
+func Span(np, bandwidth int, v Variant) int64 {
+	var construct int64
+	if v == VariantRound {
+		construct = ldt.SpanConstructRound(np, constructPhases(v, np))
+	} else {
+		construct = ldt.SpanConstructAwake(np, constructPhases(v, np))
+	}
+	_, _, numChunks := permChunks(np, bandwidth)
+	return 1 + // hello
+		construct +
+		ldt.SpanRank(np) +
+		ldt.SpanBroadcastChunks(np, numChunks) +
+		int64(np) // VT-MIS window
+}
+
+// RunSub executes LDT-MIS as a sub-procedure over rounds
+// [base, base+Span(...)). Entry/exit contract matches vtmis.RunSub:
+// enter from an awake round before base; return inside the final awake
+// round, with the round not yet ended. id must be unique among
+// participants; state is updated to the node's MIS decision.
+// The node's new small ID (its permutation entry) is returned for
+// verification purposes.
+func RunSub(ctx *sim.Ctx, base int64, id int64, np int, v Variant, state *misproto.State) int {
+	p := ldt.NewProc(ctx, base, id, np)
+	p.Hello()
+	if v == VariantRound {
+		p.ConstructRound(constructPhases(v, np))
+	} else {
+		p.ConstructAwake(constructPhases(v, np))
+	}
+	rank, total := p.Rank()
+
+	payloadBits, chunkBits, numChunks := permChunks(np, ctx.Bandwidth())
+	width := permWidth(np)
+	var payload []byte
+	if p.IsRoot() {
+		perm := ctx.Rand().Perm(total)
+		var w bitio.Writer
+		for _, v := range perm {
+			w.WriteUint(uint64(v+1), width)
+		}
+		for w.Len() < payloadBits {
+			w.WriteUint(0, 1) // null filler per §5.3
+		}
+		payload = w.Bytes()
+	}
+	data := p.BroadcastChunks(payload, payloadBits, chunkBits, numChunks)
+
+	r := bitio.NewReader(data)
+	newID := 0
+	for i := 0; i < rank; i++ {
+		u, err := r.ReadUint(width)
+		if err != nil {
+			panic(fmt.Sprintf("ldtmis: permutation decode: %v", err))
+		}
+		newID = int(u)
+	}
+
+	vtmis.RunSub(ctx, p.Cursor(), newID, np, state, p.Active())
+	return newID
+}
+
+// Result collects standalone outputs.
+type Result struct {
+	InMIS []bool
+	// NewID[v] is the random small ID node v drew; within each
+	// component the output is the LFMIS with respect to ascending
+	// NewID.
+	NewID []int
+}
+
+// Run executes standalone LDT-MIS on g: every node participates, with
+// the provided unique IDs (from an arbitrarily large space) and a
+// common component-size bound np ≥ the largest component of g.
+func Run(g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	if len(ids) != g.N() {
+		return nil, nil, fmt.Errorf("ldtmis: %d ids for %d nodes", len(ids), g.N())
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, nil, fmt.Errorf("ldtmis: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	res := &Result{InMIS: make([]bool, g.N()), NewID: make([]int, g.N())}
+	prog := func(ctx *sim.Ctx) {
+		state := misproto.Undecided
+		res.NewID[ctx.Node()] = RunSub(ctx, 1, ids[ctx.Node()], np, v, &state)
+		res.InMIS[ctx.Node()] = state == misproto.InMIS
+	}
+	m, err := sim.Run(g, prog, cfg)
+	return res, m, err
+}

@@ -1,0 +1,88 @@
+// Package luby implements Luby's classical randomized MIS algorithm
+// [Luby 1986; Alon–Babai–Itai 1986] as a SLEEPING-CONGEST program. It
+// is the paper's main baseline: O(log n) rounds and — because a node
+// must stay awake every round until it is decided — O(log n) awake
+// complexity, the bound Awake-MIS improves exponentially.
+package luby
+
+import (
+	"awakemis/internal/bitio"
+	"awakemis/internal/graph"
+	"awakemis/internal/sim"
+)
+
+// valueMsg carries a node's random value for one Luby iteration.
+type valueMsg struct {
+	Value int64
+}
+
+// Bits sizes the value field for the N^4 value space.
+func (m valueMsg) Bits() int { return bitio.IntBits(m.Value) }
+
+// joinMsg announces that the sender joined the MIS.
+type joinMsg struct{}
+
+// Bits returns the one-bit wire size.
+func (m joinMsg) Bits() int { return 1 }
+
+var (
+	_ sim.Message = valueMsg{}
+	_ sim.Message = joinMsg{}
+)
+
+// Result collects the algorithm's output.
+type Result struct {
+	InMIS []bool
+}
+
+// Program returns the per-node program writing into res (res.InMIS must
+// have length n). Each iteration costs two rounds: a value-exchange
+// round and a join-announcement round. Ties are broken conservatively
+// (neither endpoint is a local minimum), which preserves independence;
+// with values drawn from [0, N⁴) ties are rare.
+func Program(res *Result) sim.Program {
+	return func(ctx *sim.Ctx) {
+		n4 := int64(ctx.N())
+		n4 = n4 * n4 * n4 * n4
+		if n4 < 1<<16 {
+			n4 = 1 << 16
+		}
+		for {
+			// Value round: only undecided nodes send.
+			val := ctx.Rand().Int63n(n4)
+			ctx.Broadcast(valueMsg{Value: val})
+			in := ctx.Deliver()
+			isMin := true
+			for _, m := range in {
+				if vm, ok := m.Msg.(valueMsg); ok && vm.Value <= val {
+					isMin = false
+					break
+				}
+			}
+			ctx.Advance()
+
+			// Join round: winners announce; losers listen.
+			if isMin {
+				res.InMIS[ctx.Node()] = true
+				ctx.Broadcast(joinMsg{})
+				ctx.Deliver()
+				return // in MIS: halt (silence = inactive to neighbors)
+			}
+			in = ctx.Deliver()
+			for _, m := range in {
+				if _, ok := m.Msg.(joinMsg); ok {
+					return // neighbor joined: we are notinMIS, halt
+				}
+			}
+			ctx.Advance()
+		}
+	}
+}
+
+// Run executes Luby's algorithm on g and returns the MIS selection and
+// metrics.
+func Run(g *graph.Graph, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	res := &Result{InMIS: make([]bool, g.N())}
+	m, err := sim.Run(g, Program(res), cfg)
+	return res, m, err
+}

@@ -1,0 +1,78 @@
+// Package naive implements the naive distributed sequential greedy MIS
+// described in §5.3: given unique IDs in [1, I], the algorithm runs for
+// I rounds; in round r every (still participating) node is awake and
+// broadcasts its state, and the node with ID r joins the MIS unless a
+// neighbor already has. Its awake complexity is O(I) — the baseline
+// whose exponential improvement VT-MIS demonstrates.
+package naive
+
+import (
+	"fmt"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/misproto"
+	"awakemis/internal/sim"
+)
+
+// Result collects the algorithm's output.
+type Result struct {
+	InMIS []bool
+}
+
+// Program returns the per-node program. ids assigns each node a unique
+// ID in [1, I]. Every node stays awake for all I rounds (that is the
+// point of the baseline); the LFMIS with respect to the ID order is
+// produced.
+func Program(res *Result, ids []int, idBound int) sim.Program {
+	return func(ctx *sim.Ctx) {
+		id := ids[ctx.Node()]
+		state := misproto.Undecided
+		for r := 1; r <= idBound; r++ {
+			ctx.Broadcast(misproto.StateMsg{State: state})
+			in := ctx.Deliver()
+			if state == misproto.Undecided {
+				for _, m := range in {
+					if sm, ok := m.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+						state = misproto.NotInMIS
+						break
+					}
+				}
+			}
+			if r == id && state == misproto.Undecided {
+				state = misproto.InMIS
+				res.InMIS[ctx.Node()] = true
+			}
+			if r < idBound {
+				ctx.Advance()
+			}
+		}
+	}
+}
+
+// Run executes the naive algorithm with the given ID assignment.
+func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	if err := CheckIDs(g.N(), ids, idBound); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{InMIS: make([]bool, g.N())}
+	m, err := sim.Run(g, Program(res, ids, idBound), cfg)
+	return res, m, err
+}
+
+// CheckIDs validates that ids are unique and within [1, idBound].
+func CheckIDs(n int, ids []int, idBound int) error {
+	if len(ids) != n {
+		return fmt.Errorf("naive: %d ids for %d nodes", len(ids), n)
+	}
+	seen := make(map[int]bool, n)
+	for v, id := range ids {
+		if id < 1 || id > idBound {
+			return fmt.Errorf("naive: node %d id %d outside [1,%d]", v, id, idBound)
+		}
+		if seen[id] {
+			return fmt.Errorf("naive: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package prob implements the probabilistic toolkit of §4.2: the two
+// Chernoff bounds of Lemma 1 (used throughout the paper's analysis),
+// tail-probability calculators for the batch-population and shattering
+// arguments, and helpers for choosing Awake-MIS constants so that the
+// high-probability events of Theorem 13 hold at a target error rate.
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChernoffLower bounds P[Σ Xᵢ ≤ (1−δ)·pk] ≤ exp(−δ²kp/2) for k i.i.d.
+// Bernoulli(p) variables and 0 ≤ δ ≤ 1 (Lemma 1, first inequality).
+func ChernoffLower(k int, p, delta float64) float64 {
+	if err := checkArgs(k, p); err != nil || delta < 0 || delta > 1 {
+		return 1
+	}
+	return math.Exp(-delta * delta * float64(k) * p / 2)
+}
+
+// ChernoffUpper bounds P[Σ Xᵢ ≥ (1+δ)·pk] ≤ exp(−δ²kp/(2+δ)) for δ ≥ 0
+// (Lemma 1, second inequality, via ln(1+δ) ≥ 2δ/(2+δ)).
+func ChernoffUpper(k int, p, delta float64) float64 {
+	if err := checkArgs(k, p); err != nil || delta < 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta * float64(k) * p / (2 + delta))
+}
+
+func checkArgs(k int, p float64) error {
+	if k < 0 || p < 0 || p > 1 {
+		return fmt.Errorf("prob: invalid k=%d p=%v", k, p)
+	}
+	return nil
+}
+
+// BatchPopulationBounds returns the [lo, hi] range that |V_i| — the
+// number of nodes in batch levels 1..i of Awake-MIS — stays within,
+// except with probability at most 2·exp(−mean/10), following the
+// Theorem 13 proof (δ = 1/2 on both tails).
+func BatchPopulationBounds(mean float64) (lo, hi, errProb float64) {
+	lo = mean / 2
+	hi = 3 * mean / 2
+	errProb = math.Exp(-mean/10) + math.Exp(-mean/8)
+	return lo, hi, errProb
+}
+
+// ShatterTail bounds the probability that the branching process of
+// Lemma 3 survives k steps: P[C′ ≥ k] ≤ exp(−k/6).
+func ShatterTail(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return math.Exp(-float64(k) / 6)
+}
+
+// ShatterBound returns the component-size bound 6·ln(n/ε) of Lemma 3.
+func ShatterBound(n int, eps float64) float64 {
+	if n < 1 || eps <= 0 {
+		return 0
+	}
+	return 6 * math.Log(float64(n)/eps)
+}
+
+// ResidualBound returns the degree bound (t′/t)·ln(n/ε) of Lemma 2.
+func ResidualBound(t, tPrime, n int, eps float64) float64 {
+	if t < 1 || tPrime < t || n < 1 || eps <= 0 {
+		return 0
+	}
+	return float64(tPrime) / float64(t) * math.Log(float64(n)/eps)
+}
+
+// UnionBound combines per-event failure probabilities.
+func UnionBound(probs ...float64) float64 {
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Theorem13Failure estimates the total failure probability of one
+// Awake-MIS execution with the given derived quantities, by summing the
+// per-phase events the proof union-bounds: batch-population
+// concentration, residual degree, and shattering, per phase.
+func Theorem13Failure(n, levels, batchesPerLevel int, meanLevelPop float64) float64 {
+	_, _, popErr := BatchPopulationBounds(meanLevelPop)
+	perPhase := UnionBound(popErr, 1/float64(n*n*n), 1/float64(n*n*n))
+	return UnionBound(perPhase * float64(levels*batchesPerLevel))
+}
+
+// IDCollisionProb bounds the probability that n uniform IDs from
+// [1, space] collide (birthday bound n²/(2·space)).
+func IDCollisionProb(n int, space int64) float64 {
+	if space <= 0 {
+		return 1
+	}
+	p := float64(n) * float64(n) / (2 * float64(space))
+	if p > 1 {
+		return 1
+	}
+	return p
+}

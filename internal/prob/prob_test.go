@@ -1,0 +1,161 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLemma1LowerTailEmpirical validates the first Chernoff inequality
+// of Lemma 1 against simulation: the empirical frequency of the lower
+// tail never exceeds the bound (up to sampling noise).
+func TestLemma1LowerTailEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k, p := 400, 0.5
+	for _, delta := range []float64{0.2, 0.4, 0.6} {
+		bound := ChernoffLower(k, p, delta)
+		threshold := (1 - delta) * p * float64(k)
+		trials := 20000
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			sum := 0
+			for i := 0; i < k; i++ {
+				if rng.Float64() < p {
+					sum++
+				}
+			}
+			if float64(sum) <= threshold {
+				hits++
+			}
+		}
+		freq := float64(hits) / float64(trials)
+		if freq > bound+0.01 {
+			t.Errorf("δ=%.1f: empirical lower tail %.4f exceeds Chernoff bound %.4f",
+				delta, freq, bound)
+		}
+	}
+}
+
+// TestLemma1UpperTailEmpirical does the same for the second inequality.
+func TestLemma1UpperTailEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, p := 400, 0.5
+	for _, delta := range []float64{0.2, 0.5, 1.0} {
+		bound := ChernoffUpper(k, p, delta)
+		threshold := (1 + delta) * p * float64(k)
+		trials := 20000
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			sum := 0
+			for i := 0; i < k; i++ {
+				if rng.Float64() < p {
+					sum++
+				}
+			}
+			if float64(sum) >= threshold {
+				hits++
+			}
+		}
+		freq := float64(hits) / float64(trials)
+		if freq > bound+0.01 {
+			t.Errorf("δ=%.1f: empirical upper tail %.4f exceeds Chernoff bound %.4f",
+				delta, freq, bound)
+		}
+	}
+}
+
+func TestChernoffEdgeCases(t *testing.T) {
+	if b := ChernoffLower(-1, 0.5, 0.5); b != 1 {
+		t.Errorf("negative k should give trivial bound, got %v", b)
+	}
+	if b := ChernoffLower(10, 0.5, 1.5); b != 1 {
+		t.Errorf("δ>1 should give trivial bound, got %v", b)
+	}
+	if b := ChernoffUpper(10, 2, 0.5); b != 1 {
+		t.Errorf("p>1 should give trivial bound, got %v", b)
+	}
+	if b := ChernoffUpper(10, 0.5, -0.1); b != 1 {
+		t.Errorf("δ<0 should give trivial bound, got %v", b)
+	}
+	// Bounds decay with k.
+	if ChernoffLower(1000, 0.5, 0.5) >= ChernoffLower(100, 0.5, 0.5) {
+		t.Error("bound should tighten with more samples")
+	}
+}
+
+func TestBatchPopulationBounds(t *testing.T) {
+	lo, hi, errProb := BatchPopulationBounds(100)
+	if lo != 50 || hi != 150 {
+		t.Errorf("bounds = [%v, %v], want [50, 150]", lo, hi)
+	}
+	if errProb <= 0 || errProb >= 1 {
+		t.Errorf("errProb = %v", errProb)
+	}
+	// Larger means concentrate better.
+	_, _, e1 := BatchPopulationBounds(10)
+	_, _, e2 := BatchPopulationBounds(1000)
+	if e2 >= e1 {
+		t.Error("concentration should improve with mean")
+	}
+}
+
+func TestShatterTailMatchesLemma3(t *testing.T) {
+	// The lemma's constant: P[C' ≥ 6·ln(n/ε)] ≤ ε/n.
+	n, eps := 1024, 0.001
+	k := int(math.Ceil(ShatterBound(n, eps)))
+	if got := ShatterTail(k); got > eps/float64(n)*1.01 {
+		t.Errorf("ShatterTail(%d) = %v, want ≤ %v", k, got, eps/float64(n))
+	}
+	if ShatterTail(0) != 1 {
+		t.Error("k=0 should be trivial")
+	}
+}
+
+func TestResidualBound(t *testing.T) {
+	// Matches Lemma 2's expression.
+	got := ResidualBound(100, 400, 1000, 0.001)
+	want := 4 * math.Log(1000/0.001)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ResidualBound = %v, want %v", got, want)
+	}
+	if ResidualBound(0, 5, 10, 0.1) != 0 {
+		t.Error("invalid args should give 0")
+	}
+	if ResidualBound(10, 5, 10, 0.1) != 0 {
+		t.Error("t' < t should give 0")
+	}
+}
+
+func TestUnionBound(t *testing.T) {
+	if got := UnionBound(0.1, 0.2, 0.05); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("UnionBound = %v", got)
+	}
+	if got := UnionBound(0.9, 0.9); got != 1 {
+		t.Errorf("UnionBound should clamp at 1, got %v", got)
+	}
+	if got := UnionBound(); got != 0 {
+		t.Errorf("empty UnionBound = %v", got)
+	}
+}
+
+func TestTheorem13Failure(t *testing.T) {
+	// With the default-scale constants the failure estimate must be
+	// well below 1 for moderate n, and decrease as populations grow.
+	f1 := Theorem13Failure(1024, 7, 84, 10*math.Log(1024))
+	f2 := Theorem13Failure(1024, 7, 84, 40*math.Log(1024))
+	if f2 >= f1 {
+		t.Errorf("larger populations should reduce failure: %v vs %v", f1, f2)
+	}
+}
+
+func TestIDCollisionProb(t *testing.T) {
+	if p := IDCollisionProb(1024, 1<<30); p > 0.001 {
+		t.Errorf("collision prob %v too high for N^3 space", p)
+	}
+	if p := IDCollisionProb(100, 0); p != 1 {
+		t.Errorf("zero space should be certain collision, got %v", p)
+	}
+	if p := IDCollisionProb(1<<20, 4); p != 1 {
+		t.Errorf("overfull space should clamp to 1, got %v", p)
+	}
+}

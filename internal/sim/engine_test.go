@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"awakemis/internal/graph"
+)
+
+// recordingTracer checks the Tracer contract: events arrive from the
+// engine goroutine in nondecreasing round order.
+type recordingTracer struct {
+	mu         sync.Mutex
+	awake      []int64
+	messages   int
+	delivered  int
+	outOfOrder bool
+	lastRound  int64
+}
+
+func (r *recordingTracer) NodeAwake(round int64, node int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if round < r.lastRound {
+		r.outOfOrder = true
+	}
+	r.lastRound = round
+	r.awake = append(r.awake, round)
+}
+
+func (r *recordingTracer) Message(round int64, from, to, bits int, delivered bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if round < r.lastRound {
+		r.outOfOrder = true
+	}
+	r.messages++
+	if delivered {
+		r.delivered++
+	}
+}
+
+func TestTracerEventStream(t *testing.T) {
+	g := graph.Cycle(8)
+	tr := &recordingTracer{}
+	prog := func(ctx *Ctx) {
+		ctx.Broadcast(intMsg(1))
+		ctx.Deliver()
+		ctx.Sleep(3)
+		ctx.Broadcast(intMsg(2))
+		ctx.Deliver()
+	}
+	m, err := Run(g, prog, Config{Seed: 1, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.outOfOrder {
+		t.Error("tracer saw rounds out of order")
+	}
+	if int64(len(tr.awake)) != m.TotalAwake {
+		t.Errorf("tracer awake events %d != TotalAwake %d", len(tr.awake), m.TotalAwake)
+	}
+	if int64(tr.messages) != m.MessagesSent {
+		t.Errorf("tracer messages %d != sent %d", tr.messages, m.MessagesSent)
+	}
+	if int64(tr.delivered) != m.MessagesDelivered {
+		t.Errorf("tracer delivered %d != %d", tr.delivered, m.MessagesDelivered)
+	}
+}
+
+func TestSleepImmediatelyAtStart(t *testing.T) {
+	// A node may end round 0 without any sends or explicit Deliver.
+	g := graph.New(2)
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 0 {
+			ctx.SleepUntil(5)
+			if ctx.Round() != 5 {
+				t.Errorf("woke at %d, want 5", ctx.Round())
+			}
+			return
+		}
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AwakePerNode[0] != 2 || m.AwakePerNode[1] != 1 {
+		t.Errorf("awake = %v, want [2 1]", m.AwakePerNode)
+	}
+}
+
+func TestHaltedNeighborsDoNotDeadlock(t *testing.T) {
+	// One side of every edge halts in round 0; the other keeps sending
+	// into the void for many rounds. The engine must neither deadlock
+	// nor deliver anything.
+	g := graph.CompleteBipartite(4, 4)
+	prog := func(ctx *Ctx) {
+		if ctx.Node() < 4 {
+			return // halt immediately
+		}
+		for i := 0; i < 50; i++ {
+			ctx.Broadcast(intMsg(int64(i)))
+			in := ctx.Deliver()
+			for _, m := range in {
+				if _, ok := m.Msg.(intMsg); ok && ctx.Round() > 0 {
+					t.Error("received message from halted neighbor")
+				}
+			}
+			ctx.Advance()
+		}
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only round 0 delivers: senders 4..7 each reach the four not-yet-
+	// halted nodes 0..3 (halting nodes are still awake in round 0).
+	if m.MessagesDelivered != 16 {
+		t.Errorf("delivered = %d, want 16", m.MessagesDelivered)
+	}
+}
+
+func TestZeroDegreeBroadcast(t *testing.T) {
+	g := graph.New(3)
+	prog := func(ctx *Ctx) {
+		ctx.Broadcast(intMsg(1)) // no ports: no-op
+		in := ctx.Deliver()
+		if len(in) != 0 {
+			t.Error("isolated node received messages")
+		}
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MessagesSent != 0 {
+		t.Errorf("messages = %d, want 0", m.MessagesSent)
+	}
+}
+
+func TestLongSparseScheduleMetrics(t *testing.T) {
+	// Nodes wake in disjoint singleton rounds; ExecutedRounds must equal
+	// the number of distinct wake rounds.
+	g := graph.New(5)
+	prog := func(ctx *Ctx) {
+		id := int64(ctx.Node())
+		ctx.SleepUntil(1000 + 100*id)
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecutedRounds != 6 { // round 0 plus five wake rounds
+		t.Errorf("ExecutedRounds = %d, want 6", m.ExecutedRounds)
+	}
+	if m.Rounds != 1401 {
+		t.Errorf("Rounds = %d, want 1401", m.Rounds)
+	}
+}

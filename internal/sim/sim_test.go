@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"awakemis/internal/bitio"
+	"awakemis/internal/graph"
+)
+
+// intMsg is a simple test message carrying one integer.
+type intMsg int64
+
+func (m intMsg) Bits() int { return bitio.IntBits(int64(m)) }
+
+// bigMsg reports an arbitrary size regardless of content.
+type bigMsg struct{ bits int }
+
+func (m bigMsg) Bits() int { return m.bits }
+
+var (
+	_ Message = intMsg(0)
+	_ Message = bigMsg{}
+)
+
+// collector gathers per-node outputs race-free (each node writes only
+// its own slot; the engine's final barrier orders it before reads).
+type collector struct {
+	mu   sync.Mutex
+	vals map[int][]int64
+}
+
+func newCollector() *collector { return &collector{vals: map[int][]int64{}} }
+
+func (c *collector) add(node int, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vals[node] = append(c.vals[node], v)
+}
+
+func TestPingExchange(t *testing.T) {
+	g := graph.Path(2)
+	got := newCollector()
+	prog := func(ctx *Ctx) {
+		ctx.Send(0, intMsg(int64(100+ctx.Node())))
+		in := ctx.Deliver()
+		if len(in) != 1 {
+			t.Errorf("node %d: got %d messages, want 1", ctx.Node(), len(in))
+			return
+		}
+		got.add(ctx.Node(), int64(in[0].Msg.(intMsg)))
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.vals[0][0] != 101 || got.vals[1][0] != 100 {
+		t.Errorf("exchange wrong: %v", got.vals)
+	}
+	if m.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", m.Rounds)
+	}
+	if m.MaxAwake != 1 || m.TotalAwake != 2 {
+		t.Errorf("awake metrics = max %d total %d, want 1/2", m.MaxAwake, m.TotalAwake)
+	}
+	if m.MessagesSent != 2 || m.MessagesDelivered != 2 {
+		t.Errorf("messages = %d sent %d delivered, want 2/2", m.MessagesSent, m.MessagesDelivered)
+	}
+}
+
+func TestMessageToSleepingNodeIsLost(t *testing.T) {
+	g := graph.Path(2)
+	got := newCollector()
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 0 {
+			// Round 0: sleep through round 1, wake round 2.
+			ctx.Sleep(1)
+			// Round 2: nothing should be waiting (round-1 msg lost).
+			in := ctx.Deliver()
+			got.add(0, int64(len(in)))
+			return
+		}
+		// Node 1: round 0 idle, round 1 send (lost), round 2 send (heard).
+		ctx.Advance()
+		ctx.Send(0, intMsg(7))
+		ctx.Advance()
+		ctx.Send(0, intMsg(9))
+		in := ctx.Deliver()
+		got.add(1, int64(len(in)))
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.vals[0][0] != 1 {
+		t.Errorf("node 0 should hear exactly the round-2 message, got %d", got.vals[0][0])
+	}
+	if m.MessagesSent != 2 || m.MessagesDelivered != 1 {
+		t.Errorf("sent %d delivered %d, want 2/1", m.MessagesSent, m.MessagesDelivered)
+	}
+}
+
+func TestSenderAsleepMessageNotSent(t *testing.T) {
+	// A sleeping node cannot send: the API has no way to express it, and
+	// nothing is delivered to an awake listener from a sleeping neighbor.
+	g := graph.Path(2)
+	heard := newCollector()
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 0 {
+			ctx.Sleep(3)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			in := ctx.Deliver()
+			heard.add(1, int64(len(in)))
+			ctx.Advance()
+		}
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range heard.vals[1] {
+		if c != 0 {
+			t.Errorf("awake node heard %d messages from sleeping neighbor", c)
+		}
+	}
+}
+
+func TestClockSkipping(t *testing.T) {
+	g := graph.New(3)
+	prog := func(ctx *Ctx) {
+		ctx.SleepUntil(1_000_000)
+		// One more awake round at 1e6, then halt.
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 1_000_001 {
+		t.Errorf("Rounds = %d, want 1000001", m.Rounds)
+	}
+	if m.ExecutedRounds != 2 {
+		t.Errorf("ExecutedRounds = %d, want 2 (round 0 and round 1e6)", m.ExecutedRounds)
+	}
+	if m.MaxAwake != 2 {
+		t.Errorf("MaxAwake = %d, want 2", m.MaxAwake)
+	}
+}
+
+func TestRoundNumbersVisible(t *testing.T) {
+	g := graph.New(1)
+	var rounds []int64
+	prog := func(ctx *Ctx) {
+		rounds = append(rounds, ctx.Round())
+		ctx.Advance()
+		rounds = append(rounds, ctx.Round())
+		ctx.SleepUntil(10)
+		rounds = append(rounds, ctx.Round())
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 10}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Errorf("round[%d] = %d, want %d", i, rounds[i], want[i])
+		}
+	}
+}
+
+func TestStrictCongestViolation(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(ctx *Ctx) {
+		ctx.Send(0, bigMsg{bits: 10_000})
+		ctx.Deliver()
+	}
+	_, err := Run(g, prog, Config{Seed: 1, Strict: true})
+	if err == nil {
+		t.Fatal("expected bandwidth error")
+	}
+	var be *BandwidthError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a BandwidthError", err)
+	}
+}
+
+func TestNonStrictAllowsBigMessages(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(ctx *Ctx) {
+		ctx.Send(0, bigMsg{bits: 10_000})
+		ctx.Deliver()
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxMessageBits != 10_000 {
+		t.Errorf("MaxMessageBits = %d", m.MaxMessageBits)
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := graph.New(1)
+	prog := func(ctx *Ctx) {
+		for {
+			ctx.Sleep(100)
+		}
+	}
+	_, err := Run(g, prog, Config{Seed: 1, MaxRounds: 500})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestProgramPanicBecomesError(t *testing.T) {
+	g := graph.Path(3)
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 1 {
+			panic("boom")
+		}
+		ctx.Deliver()
+	}
+	_, err := Run(g, prog, Config{Seed: 1})
+	if err == nil {
+		t.Fatal("expected error from panicking program")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	g := graph.New(2)
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 0 {
+			ctx.Halt()
+			t.Error("unreachable after Halt")
+		}
+		ctx.Advance()
+		ctx.Advance()
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AwakePerNode[0] != 1 {
+		t.Errorf("halted node awake %d rounds, want 1", m.AwakePerNode[0])
+	}
+	if m.AwakePerNode[1] != 3 {
+		t.Errorf("node 1 awake %d rounds, want 3", m.AwakePerNode[1])
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	g := graph.Cycle(16)
+	run := func() []int64 {
+		vals := make([]int64, g.N())
+		prog := func(ctx *Ctx) {
+			x := ctx.Rand().Int63n(1000)
+			ctx.Broadcast(intMsg(x))
+			in := ctx.Deliver()
+			sum := x
+			for _, m := range in {
+				sum += int64(m.Msg.(intMsg))
+			}
+			vals[ctx.Node()] = sum
+			ctx.Advance()
+			vals[ctx.Node()] += ctx.Rand().Int63n(10)
+		}
+		if _, err := Run(g, prog, Config{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	g := graph.New(8)
+	run := func(seed int64) int64 {
+		var mu sync.Mutex
+		var total int64
+		prog := func(ctx *Ctx) {
+			v := ctx.Rand().Int63n(1 << 30)
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}
+		if _, err := Run(g, prog, Config{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	if run(1) == run(2) {
+		t.Error("different seeds produced identical randomness (unlikely)")
+	}
+}
+
+func TestInboxSortedByPort(t *testing.T) {
+	g := graph.Star(5) // center 0 with 4 leaves
+	var ports []int
+	prog := func(ctx *Ctx) {
+		if ctx.Node() == 0 {
+			in := ctx.Deliver()
+			for _, m := range in {
+				ports = append(ports, m.Port)
+			}
+			return
+		}
+		ctx.Send(0, intMsg(int64(ctx.Node())))
+		ctx.Deliver()
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 4 {
+		t.Fatalf("center heard %d messages, want 4", len(ports))
+	}
+	for i, p := range ports {
+		if p != i {
+			t.Errorf("inbox[%d].Port = %d, want %d", i, p, i)
+		}
+	}
+}
+
+func TestPortSymmetry(t *testing.T) {
+	// A message sent on port p arrives tagged with the receiver's port
+	// back to the sender.
+	g := graph.Cycle(6)
+	bad := newCollector()
+	prog := func(ctx *Ctx) {
+		// Everybody announces on every port; receivers echo next round.
+		ctx.Broadcast(intMsg(int64(ctx.Node())))
+		in := ctx.Deliver()
+		for _, m := range in {
+			nb := g.Neighbor(ctx.Node(), m.Port)
+			if nb != int(m.Msg.(intMsg)) {
+				bad.add(ctx.Node(), int64(nb))
+			}
+		}
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(bad.vals) != 0 {
+		t.Errorf("port attribution wrong for nodes %v", bad.vals)
+	}
+}
+
+func TestSendAfterDeliverPanics(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(ctx *Ctx) {
+		ctx.Deliver()
+		ctx.Send(0, intMsg(1)) // misuse
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err == nil {
+		t.Fatal("expected misuse error")
+	}
+}
+
+func TestInvalidPortPanics(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(ctx *Ctx) {
+		ctx.Send(5, intMsg(1))
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err == nil {
+		t.Fatal("expected invalid-port error")
+	}
+}
+
+func TestNTooSmallRejected(t *testing.T) {
+	g := graph.New(10)
+	if _, err := Run(g, func(ctx *Ctx) {}, Config{N: 5}); err == nil {
+		t.Fatal("expected error for N < n")
+	}
+}
+
+func TestDefaultBandwidth(t *testing.T) {
+	if b := DefaultBandwidth(1024); b != 16*11+16 {
+		t.Errorf("DefaultBandwidth(1024) = %d", b)
+	}
+	if b := DefaultBandwidth(0); b != 16*2+16 {
+		t.Errorf("DefaultBandwidth(0) = %d", b)
+	}
+}
+
+func TestAvgAwake(t *testing.T) {
+	m := &Metrics{AwakePerNode: []int64{1, 3}, TotalAwake: 4}
+	if got := m.AvgAwake(); got != 2 {
+		t.Errorf("AvgAwake = %v, want 2", got)
+	}
+	empty := &Metrics{}
+	if got := empty.AvgAwake(); got != 0 {
+		t.Errorf("empty AvgAwake = %v", got)
+	}
+}
+
+func TestManyNodesFloodStress(t *testing.T) {
+	g := graph.Grid(30, 30)
+	prog := func(ctx *Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.Broadcast(intMsg(int64(i)))
+			ctx.Deliver()
+			ctx.Advance()
+		}
+	}
+	m, err := Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 6 {
+		t.Errorf("Rounds = %d, want 6", m.Rounds)
+	}
+	wantMsgs := int64(5 * 2 * g.M()) // each edge both directions, 5 rounds
+	if m.MessagesSent != wantMsgs {
+		t.Errorf("MessagesSent = %d, want %d", m.MessagesSent, wantMsgs)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	m, err := Run(g, func(ctx *Ctx) {}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 0 {
+		t.Errorf("Rounds = %d, want 0", m.Rounds)
+	}
+}
+
+func TestExtraScratch(t *testing.T) {
+	g := graph.New(1)
+	prog := func(ctx *Ctx) {
+		ctx.SetExtra(42)
+		if ctx.Extra().(int) != 42 {
+			t.Error("Extra round-trip failed")
+		}
+	}
+	if _, err := Run(g, prog, Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: aggregation over repeated trials, quantiles, least
+// squares fits against candidate growth models (log n, log log n, n),
+// and fixed-width table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs (zero value for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Fit is a least-squares fit y ≈ A + B·f(x).
+type Fit struct {
+	Model string
+	A, B  float64
+	R2    float64
+}
+
+// Model functions for FitGrowth.
+var models = []struct {
+	name string
+	f    func(x float64) float64
+}{
+	{"const", func(x float64) float64 { return 0 }},
+	{"loglog n", func(x float64) float64 { return math.Log2(math.Max(2, math.Log2(math.Max(2, x)))) }},
+	{"log n", func(x float64) float64 { return math.Log2(math.Max(2, x)) }},
+	{"sqrt n", math.Sqrt},
+	{"n", func(x float64) float64 { return x }},
+}
+
+// FitModel fits y ≈ A + B·f(x) for one transform and returns (A, B, R²).
+func FitModel(xs, ys []float64, f func(float64) float64) (a, b, r2 float64) {
+	n := float64(len(xs))
+	if n < 2 {
+		if len(ys) == 1 {
+			return ys[0], 0, 1
+		}
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		t := f(xs[i])
+		sx += t
+		sy += ys[i]
+		sxx += t * t
+		sxy += t * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		// Degenerate transform (constant): best fit is the mean.
+		return sy / n, 0, r2For(xs, ys, func(x float64) float64 { return sy / n })
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	fit := func(x float64) float64 { return a + b*f(x) }
+	return a, b, r2For(xs, ys, fit)
+}
+
+func r2For(xs, ys []float64, fit func(float64) float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssTot, ssRes float64
+	for i := range ys {
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+		d := ys[i] - fit(xs[i])
+		ssRes += d * d
+	}
+	if ssTot < 1e-12 {
+		if ssRes < 1e-9 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitGrowth fits every candidate growth model and returns the best fit
+// by R² (ties favor the slower-growing model, matching how complexity
+// claims are judged).
+func FitGrowth(xs, ys []float64) Fit {
+	best := Fit{Model: "none", R2: math.Inf(-1)}
+	for _, m := range models {
+		a, b, r2 := FitModel(xs, ys, m.f)
+		if r2 > best.R2+1e-9 {
+			best = Fit{Model: m.name, A: a, B: b, R2: r2}
+		}
+	}
+	return best
+}
+
+// GrowthRatio returns ys[len-1]/ys[0]: how much the measurement grew
+// across the sweep (≈1 for log log-like behavior over laptop ranges,
+// ≈log(x_last)/log(x_first) for logarithmic behavior).
+func GrowthRatio(ys []float64) float64 {
+	if len(ys) < 2 || ys[0] == 0 {
+		return math.NaN()
+	}
+	return ys[len(ys)-1] / ys[0]
+}
+
+// Table renders rows with a header as fixed-width aligned text.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if q := Quantile(xs, 0.5); q != 50 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.9); q != 90 {
+		t.Errorf("p90 = %v", q)
+	}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Errorf("p0 = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestFitModelLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	a, b, r2 := FitModel(xs, ys, func(x float64) float64 { return x })
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || r2 < 0.999 {
+		t.Errorf("fit = %v + %v·x, R²=%v", a, b, r2)
+	}
+}
+
+func TestFitGrowthIdentifiesLog(t *testing.T) {
+	xs := []float64{64, 256, 1024, 4096, 16384}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 + 3*math.Log2(x)
+	}
+	fit := FitGrowth(xs, ys)
+	if fit.Model != "log n" {
+		t.Errorf("model = %q, want log n (fit %+v)", fit.Model, fit)
+	}
+}
+
+func TestFitGrowthIdentifiesLogLog(t *testing.T) {
+	xs := []float64{64, 256, 1024, 4096, 16384, 65536}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 + 40*math.Log2(math.Log2(x))
+	}
+	fit := FitGrowth(xs, ys)
+	if fit.Model != "loglog n" {
+		t.Errorf("model = %q, want loglog n (fit %+v)", fit.Model, fit)
+	}
+}
+
+func TestFitGrowthConstant(t *testing.T) {
+	xs := []float64{10, 100, 1000}
+	ys := []float64{7, 7, 7}
+	fit := FitGrowth(xs, ys)
+	if fit.R2 < 0.999 {
+		t.Errorf("constant data should fit perfectly: %+v", fit)
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	if r := GrowthRatio([]float64{10, 20, 30}); r != 3 {
+		t.Errorf("ratio = %v", r)
+	}
+	if !math.IsNaN(GrowthRatio([]float64{5})) {
+		t.Error("single-point ratio should be NaN")
+	}
+	if !math.IsNaN(GrowthRatio([]float64{0, 5})) {
+		t.Error("zero-start ratio should be NaN")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Header: []string{"n", "awake", "model"}}
+	tb.Add(1024, 12.5, "luby")
+	tb.Add(65536, 17.0, "awakemis")
+	out := tb.String()
+	if !strings.Contains(out, "awake") || !strings.Contains(out, "12.50") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All lines align to the same width pattern.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Errorf("separator line malformed:\n%s", out)
+	}
+}

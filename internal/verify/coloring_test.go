@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"testing"
+
+	"awakemis/internal/graph"
+)
+
+func TestCheckColoringAcceptsValid(t *testing.T) {
+	g := graph.Cycle(6)
+	if err := CheckColoring(g, []int{0, 1, 0, 1, 0, 1}); err != nil {
+		t.Errorf("valid 2-coloring rejected: %v", err)
+	}
+}
+
+func TestCheckColoringRejections(t *testing.T) {
+	g := graph.Path(3)
+	tests := []struct {
+		name  string
+		color []int
+	}{
+		{"wrong length", []int{0, 1}},
+		{"uncolored", []int{0, -1, 0}},
+		{"over degree", []int{0, 3, 0}},
+		{"monochromatic edge", []int{0, 0, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := CheckColoring(g, tt.color); err == nil {
+				t.Errorf("%v accepted", tt.color)
+			}
+		})
+	}
+}
+
+func TestNumColors(t *testing.T) {
+	if got := NumColors([]int{0, 2, 0, 2, 5}); got != 3 {
+		t.Errorf("NumColors = %d, want 3", got)
+	}
+	if got := NumColors(nil); got != 0 {
+		t.Errorf("empty NumColors = %d", got)
+	}
+}
+
+func TestCheckLFMISRejectsInvalidMIS(t *testing.T) {
+	// CheckLFMIS must first reject non-MIS inputs.
+	g := graph.Path(3)
+	if err := CheckLFMIS(g, []bool{true, true, false}, []int{0, 1, 2}); err == nil {
+		t.Error("dependent set accepted by CheckLFMIS")
+	}
+}

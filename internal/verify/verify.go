@@ -1,0 +1,189 @@
+// Package verify provides correctness oracles for MIS outputs: set
+// independence, maximality, and the lexicographically-first-MIS (LFMIS)
+// property with respect to a given node ordering (§4.3). Every
+// algorithm's tests cross-check against these oracles.
+package verify
+
+import (
+	"fmt"
+
+	"awakemis/internal/graph"
+)
+
+// IsIndependent reports whether no two selected vertices are adjacent.
+func IsIndependent(g *graph.Graph, in []bool) bool {
+	return firstDependentEdge(g, in) == [2]int{-1, -1}
+}
+
+func firstDependentEdge(g *graph.Graph, in []bool) [2]int {
+	for u := 0; u < g.N(); u++ {
+		if !in[u] {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if in[w] {
+				return [2]int{u, int(w)}
+			}
+		}
+	}
+	return [2]int{-1, -1}
+}
+
+// IsMaximal reports whether every unselected vertex has a selected
+// neighbor.
+func IsMaximal(g *graph.Graph, in []bool) bool {
+	return firstUncovered(g, in) == -1
+}
+
+func firstUncovered(g *graph.Graph, in []bool) int {
+	for u := 0; u < g.N(); u++ {
+		if in[u] {
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(u) {
+			if in[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return u
+		}
+	}
+	return -1
+}
+
+// CheckMIS returns a descriptive error if the selection is not a
+// maximal independent set of g.
+func CheckMIS(g *graph.Graph, in []bool) error {
+	if len(in) != g.N() {
+		return fmt.Errorf("verify: selection length %d != n %d", len(in), g.N())
+	}
+	if e := firstDependentEdge(g, in); e[0] >= 0 {
+		return fmt.Errorf("verify: not independent: edge (%d,%d) both selected", e[0], e[1])
+	}
+	if v := firstUncovered(g, in); v >= 0 {
+		return fmt.Errorf("verify: not maximal: vertex %d uncovered", v)
+	}
+	return nil
+}
+
+// LFMIS computes the lexicographically first MIS of g with respect to
+// the ordering order (order[0] processed first). It is the reference
+// implementation of sequential greedy MIS (§4.3).
+func LFMIS(g *graph.Graph, order []int) []bool {
+	in := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	return in
+}
+
+// CheckLFMIS returns an error unless the selection equals the LFMIS of
+// g with respect to order.
+func CheckLFMIS(g *graph.Graph, in []bool, order []int) error {
+	if err := CheckMIS(g, in); err != nil {
+		return err
+	}
+	want := LFMIS(g, order)
+	for v := range want {
+		if want[v] != in[v] {
+			return fmt.Errorf("verify: not LFMIS w.r.t. order: vertex %d is %v, want %v",
+				v, in[v], want[v])
+		}
+	}
+	return nil
+}
+
+// Size returns the number of selected vertices.
+func Size(in []bool) int {
+	c := 0
+	for _, b := range in {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// CheckColoring returns an error unless color is a proper vertex
+// coloring of g in which every node's color is at most its degree
+// (the greedy guarantee, implying ≤ Δ+1 colors overall).
+func CheckColoring(g *graph.Graph, color []int) error {
+	if len(color) != g.N() {
+		return fmt.Errorf("verify: coloring length %d != n %d", len(color), g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if color[u] < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored", u)
+		}
+		if color[u] > g.Degree(u) {
+			return fmt.Errorf("verify: vertex %d color %d exceeds degree %d",
+				u, color[u], g.Degree(u))
+		}
+		for _, w := range g.Neighbors(u) {
+			if color[u] == color[int(w)] {
+				return fmt.Errorf("verify: edge (%d,%d) monochromatic with color %d",
+					u, w, color[u])
+			}
+		}
+	}
+	return nil
+}
+
+// NumColors returns the number of distinct colors used.
+func NumColors(color []int) int {
+	seen := map[int]bool{}
+	for _, c := range color {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// CheckMatching returns an error unless matchedWith (partner index or
+// -1) encodes a maximal matching of g: symmetric, along edges, and
+// with no edge joining two unmatched vertices.
+func CheckMatching(g *graph.Graph, matchedWith []int) error {
+	if len(matchedWith) != g.N() {
+		return fmt.Errorf("verify: matching length %d != n %d", len(matchedWith), g.N())
+	}
+	for u, w := range matchedWith {
+		if w < 0 {
+			continue
+		}
+		if w >= g.N() {
+			return fmt.Errorf("verify: vertex %d matched with out-of-range %d", u, w)
+		}
+		if matchedWith[w] != u {
+			return fmt.Errorf("verify: matching not symmetric at (%d,%d)", u, w)
+		}
+		if !g.HasEdge(u, w) {
+			return fmt.Errorf("verify: matched pair (%d,%d) is not an edge", u, w)
+		}
+	}
+	for _, e := range g.Edges() {
+		if matchedWith[e[0]] < 0 && matchedWith[e[1]] < 0 {
+			return fmt.Errorf("verify: matching not maximal: edge (%d,%d) free", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// MatchingSize returns the number of matched pairs.
+func MatchingSize(matchedWith []int) int {
+	c := 0
+	for _, w := range matchedWith {
+		if w >= 0 {
+			c++
+		}
+	}
+	return c / 2
+}

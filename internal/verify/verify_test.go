@@ -1,0 +1,92 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awakemis/internal/graph"
+)
+
+func TestCheckMISAcceptsValid(t *testing.T) {
+	g := graph.Cycle(6)
+	in := []bool{true, false, true, false, true, false}
+	if err := CheckMIS(g, in); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+}
+
+func TestCheckMISRejectsDependent(t *testing.T) {
+	g := graph.Path(3)
+	in := []bool{true, true, false}
+	if err := CheckMIS(g, in); err == nil {
+		t.Error("dependent set accepted")
+	}
+	if IsIndependent(g, in) {
+		t.Error("IsIndependent true for dependent set")
+	}
+}
+
+func TestCheckMISRejectsNonMaximal(t *testing.T) {
+	g := graph.Path(5)
+	in := []bool{true, false, false, false, true}
+	if err := CheckMIS(g, in); err == nil {
+		t.Error("non-maximal set accepted")
+	}
+	if IsMaximal(g, in) {
+		t.Error("IsMaximal true for non-maximal set")
+	}
+}
+
+func TestCheckMISRejectsWrongLength(t *testing.T) {
+	g := graph.Path(3)
+	if err := CheckMIS(g, []bool{true}); err == nil {
+		t.Error("wrong-length selection accepted")
+	}
+}
+
+func TestLFMISKnownOrder(t *testing.T) {
+	// Path 0-1-2-3, order 1,3,0,2: 1 joins, 3 joins, 0 blocked? no —
+	// 0 is adjacent to 1 which is in, so blocked; 2 adjacent to both.
+	g := graph.Path(4)
+	in := LFMIS(g, []int{1, 3, 0, 2})
+	want := []bool{false, true, false, true}
+	for v := range want {
+		if in[v] != want[v] {
+			t.Errorf("LFMIS[%d] = %v, want %v", v, in[v], want[v])
+		}
+	}
+	if err := CheckLFMIS(g, in, []int{1, 3, 0, 2}); err != nil {
+		t.Errorf("CheckLFMIS rejected its own construction: %v", err)
+	}
+}
+
+func TestCheckLFMISRejectsOtherMIS(t *testing.T) {
+	// {0,2} and {1,3} are both MIS of C4; only one is LF for the order.
+	g := graph.Cycle(4)
+	order := []int{0, 1, 2, 3}
+	other := []bool{false, true, false, true}
+	if err := CheckLFMIS(g, other, order); err == nil {
+		t.Error("non-LF MIS accepted")
+	}
+}
+
+func TestLFMISAlwaysValid(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%50) + 1
+		g := graph.GNP(n, 0.3, rng)
+		order := rng.Perm(n)
+		in := LFMIS(g, order)
+		return CheckMIS(g, in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := Size([]bool{true, false, true}); got != 2 {
+		t.Errorf("Size = %d, want 2", got)
+	}
+}

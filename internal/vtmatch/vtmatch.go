@@ -1,0 +1,135 @@
+// Package vtmatch implements maximal matching in the sleeping model —
+// the first of the symmetry-breaking problems §7 asks to extend the
+// paper's techniques to.
+//
+// The algorithm is the distributed form of sequential greedy matching
+// over a random *edge* ordering: edge e is processed in round id_e, and
+// joins the matching iff both endpoints are still unmatched. The
+// sleeping model makes this almost free to coordinate: an endpoint that
+// is already matched simply stays asleep, so its partner hears silence
+// and correctly skips the edge — no state exchange is needed at all.
+// Each node is awake for at most one round per incident edge (and stops
+// as soon as it matches), giving awake complexity O(deg) with early
+// exit, and round complexity I. The output is the lexicographically
+// first maximal matching (LFMM) of the edge order, which the tests
+// verify against the sequential reference.
+package vtmatch
+
+import (
+	"fmt"
+	"sort"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/sim"
+)
+
+// proposeMsg signals "my side of this edge is unmatched".
+type proposeMsg struct{}
+
+// Bits implements sim.Message.
+func (proposeMsg) Bits() int { return 1 }
+
+var _ sim.Message = proposeMsg{}
+
+// EdgeIDs assigns each edge (u < v) a unique processing round.
+type EdgeIDs map[[2]int]int
+
+// Check validates the assignment for g: complete, unique, in [1, bound].
+func (ids EdgeIDs) Check(g *graph.Graph, bound int) error {
+	if len(ids) != g.M() {
+		return fmt.Errorf("vtmatch: %d edge ids for %d edges", len(ids), g.M())
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, e := range g.Edges() {
+		id, ok := ids[e]
+		if !ok {
+			return fmt.Errorf("vtmatch: edge %v has no id", e)
+		}
+		if id < 1 || id > bound {
+			return fmt.Errorf("vtmatch: edge %v id %d outside [1,%d]", e, id, bound)
+		}
+		if seen[id] {
+			return fmt.Errorf("vtmatch: duplicate edge id %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// Result holds the matching: MatchedWith[v] is v's partner or -1.
+type Result struct {
+	MatchedWith []int
+}
+
+// Run executes the matching on g. Each node knows the IDs of its
+// incident edges (both endpoints deterministically derive an edge's ID,
+// e.g. during a hello round; the harness passes the assignment in).
+func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	if err := ids.Check(g, bound); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{MatchedWith: make([]int, g.N())}
+	for v := range res.MatchedWith {
+		res.MatchedWith[v] = -1
+	}
+	prog := func(ctx *sim.Ctx) {
+		v := ctx.Node()
+		type slot struct {
+			round int
+			port  int
+		}
+		slots := make([]slot, 0, ctx.Degree())
+		for p := 0; p < ctx.Degree(); p++ {
+			w := g.Neighbor(v, p)
+			key := [2]int{v, w}
+			if w < v {
+				key = [2]int{w, v}
+			}
+			slots = append(slots, slot{ids[key], p})
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].round < slots[j].round })
+
+		for _, s := range slots {
+			target := int64(s.round) // edge id r processed in sim round r (round 0 is the initial model round)
+			if target > ctx.Round() {
+				ctx.SleepUntil(target)
+			}
+			ctx.Send(s.port, proposeMsg{})
+			in := ctx.Deliver()
+			for _, m := range in {
+				if _, ok := m.Msg.(proposeMsg); ok && m.Port == s.port {
+					res.MatchedWith[v] = g.Neighbor(v, s.port)
+					return // matched: sleep forever, silence skips later edges
+				}
+			}
+		}
+	}
+	m, err := sim.Run(g, prog, cfg)
+	return res, m, err
+}
+
+// GreedyReference computes the sequential greedy matching over the
+// edge-ID order: process edges by ascending ID, matching both endpoints
+// when both are free.
+func GreedyReference(g *graph.Graph, ids EdgeIDs) []int {
+	type edge struct {
+		id   int
+		u, v int
+	}
+	edges := make([]edge, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, edge{ids[e], e[0], e[1]})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].id < edges[j].id })
+	matched := make([]int, g.N())
+	for v := range matched {
+		matched[v] = -1
+	}
+	for _, e := range edges {
+		if matched[e.u] < 0 && matched[e.v] < 0 {
+			matched[e.u] = e.v
+			matched[e.v] = e.u
+		}
+	}
+	return matched
+}

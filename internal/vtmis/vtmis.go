@@ -1,0 +1,114 @@
+// Package vtmis implements Algorithm VT-MIS (§5.3, Lemma 10): the
+// awake-efficient distributed implementation of sequential greedy MIS.
+// Given unique IDs in [1, I], the algorithm spans I rounds; a node with
+// ID k is awake only in the rounds of its virtual-binary-tree
+// communication set S_k([1, I]) ∪ {k} — O(log I) rounds — yet computes
+// the lexicographically first MIS with respect to the ID order, because
+// Observation 5 guarantees every ordered pair of neighbors shares an
+// awake round between their two IDs.
+package vtmis
+
+import (
+	"fmt"
+
+	"awakemis/internal/graph"
+	"awakemis/internal/misproto"
+	"awakemis/internal/sim"
+	"awakemis/internal/vtree"
+)
+
+// RunSub executes VT-MIS as a sub-procedure over algorithm rounds
+// r ∈ [1, idBound] mapped to simulator rounds base+r-1.
+//
+// Contract: the caller must be in an awake round strictly before base;
+// RunSub ends that round. On return the node has finished the receive
+// step of its last awake round, and the caller must end that round
+// (sleep, advance, or return from the program).
+//
+// id is the node's unique ID in [1, idBound]; state is read and
+// updated in place; ports lists the ports on which participating
+// neighbors are reachable (every participant must use a port list that
+// includes all participating neighbors).
+func RunSub(ctx *sim.Ctx, base int64, id, idBound int, state *misproto.State, ports []int) {
+	rounds := vtree.AwakeRounds(id, idBound)
+	first := true
+	for _, r := range rounds {
+		if *state == misproto.NotInMIS {
+			break // nothing left to learn or announce
+		}
+		target := base + int64(r) - 1
+		if first {
+			ctx.SleepUntil(target)
+			first = false
+		} else if target > ctx.Round() {
+			ctx.SleepUntil(target)
+		}
+		for _, p := range ports {
+			ctx.Send(p, misproto.StateMsg{State: *state})
+		}
+		in := ctx.Deliver()
+		if *state == misproto.Undecided {
+			for _, m := range in {
+				if sm, ok := m.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+					*state = misproto.NotInMIS
+					break
+				}
+			}
+		}
+		if r == id && *state == misproto.Undecided {
+			*state = misproto.InMIS
+		}
+	}
+	if first {
+		// The node never woke (possible only for an already-decided
+		// NotInMIS node); put it at base so the caller's exit contract
+		// ("in an awake round") holds.
+		ctx.SleepUntil(base)
+		ctx.Deliver()
+	}
+}
+
+// Result collects the standalone algorithm's output.
+type Result struct {
+	InMIS []bool
+}
+
+// Run executes standalone VT-MIS on g with the given unique IDs in
+// [1, idBound]. All nodes participate on all ports. Round 0 is the
+// model's initial all-awake round; the algorithm occupies rounds
+// 1..idBound.
+func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	if err := CheckIDs(g.N(), ids, idBound); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{InMIS: make([]bool, g.N())}
+	prog := func(ctx *sim.Ctx) {
+		state := misproto.Undecided
+		ports := make([]int, ctx.Degree())
+		for i := range ports {
+			ports[i] = i
+		}
+		RunSub(ctx, 1, ids[ctx.Node()], idBound, &state, ports)
+		res.InMIS[ctx.Node()] = state == misproto.InMIS
+	}
+	m, err := sim.Run(g, prog, cfg)
+	return res, m, err
+}
+
+// CheckIDs validates that ids are unique and within [1, idBound].
+func CheckIDs(n int, ids []int, idBound int) error {
+	if len(ids) != n {
+		return fmt.Errorf("vtmis: %d ids for %d nodes", len(ids), n)
+	}
+	seen := make(map[int]bool, n)
+	for v, id := range ids {
+		if id < 1 || id > idBound {
+			return fmt.Errorf("vtmis: node %d id %d outside [1,%d]", v, id, idBound)
+		}
+		if seen[id] {
+			return fmt.Errorf("vtmis: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
