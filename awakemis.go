@@ -63,10 +63,32 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AwakeMIS, AwakeMISRound, Luby, NaiveGreedy, VTMIS, LDTMIS}
 }
 
+// Engine selects the simulation runtime (see internal/sim): the
+// default stepped engine keeps node state inline and shards step calls
+// across a worker pool; the lockstep engine runs one goroutine per
+// node. Both produce bit-identical results for equal seeds.
+type Engine string
+
+const (
+	// EngineStepped is the default: the inline-state parallel engine.
+	EngineStepped Engine = "stepped"
+	// EngineLockstep is the goroutine-per-node reference engine.
+	EngineLockstep Engine = "lockstep"
+)
+
+// Engines lists the available engines.
+func Engines() []Engine { return []Engine{EngineStepped, EngineLockstep} }
+
 // Options configures a run. The zero value is usable.
 type Options struct {
-	// Seed drives all randomness; equal seeds replay identical runs.
+	// Seed drives all randomness; equal seeds replay identical runs on
+	// every engine at every worker count.
 	Seed int64
+	// Engine selects the runtime engine ("" means EngineStepped).
+	Engine Engine
+	// Workers caps the stepped engine's worker pool (0 means one per
+	// CPU). Worker count never changes results, only wall-clock time.
+	Workers int
 	// N is the common polynomial upper bound on the network size known
 	// to nodes (the paper's N). Zero means the exact node count.
 	N int
@@ -85,14 +107,19 @@ type Options struct {
 	Trace bool
 }
 
-func (o Options) simConfig() sim.Config {
+func (o Options) simConfig() (sim.Config, error) {
+	eng, err := sim.EngineByName(string(o.Engine), o.Workers)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("awakemis: %w", err)
+	}
 	return sim.Config{
 		Seed:      o.Seed,
 		N:         o.N,
 		Bandwidth: o.Bandwidth,
 		Strict:    o.Strict,
 		MaxRounds: o.MaxRounds,
-	}
+		Engine:    eng,
+	}, nil
 }
 
 // Metrics reports the complexity measures of a run (§1.3–1.4).
@@ -159,7 +186,10 @@ func (r *Result) TraceSummary() string {
 // set before returning (a violation — possible only if a
 // high-probability event failed — is reported as an error).
 func Run(g *Graph, algo Algorithm, opt Options) (*Result, error) {
-	cfg := opt.simConfig()
+	cfg, err := opt.simConfig()
+	if err != nil {
+		return nil, err
+	}
 	var collector *trace.Collector
 	if opt.Trace {
 		collector = trace.NewCollector()
@@ -168,7 +198,6 @@ func Run(g *Graph, algo Algorithm, opt Options) (*Result, error) {
 	n := g.N()
 	var in []bool
 	var m *sim.Metrics
-	var err error
 
 	switch algo {
 	case AwakeMIS, AwakeMISRound:
@@ -250,8 +279,12 @@ type ColoringResult struct {
 // The output is verified to be a proper coloring with every node's
 // color at most its degree.
 func RunColoring(g *Graph, opt Options) (*ColoringResult, error) {
+	cfg, err := opt.simConfig()
+	if err != nil {
+		return nil, err
+	}
 	ids := permIDs(g.N(), opt.Seed)
-	res, m, err := vtcolor.Run(g.internal(), ids, g.N(), opt.simConfig())
+	res, m, err := vtcolor.Run(g.internal(), ids, g.N(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("awakemis: coloring: %w", err)
 	}
@@ -274,13 +307,17 @@ type MatchingResult struct {
 // awake at most once per incident edge and stops as soon as it matches;
 // the output is verified maximal before returning.
 func RunMatching(g *Graph, opt Options) (*MatchingResult, error) {
+	cfg, err := opt.simConfig()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x3f7))
 	perm := rng.Perm(g.M())
 	ids := vtmatch.EdgeIDs{}
 	for i, e := range g.internal().Edges() {
 		ids[e] = perm[i] + 1
 	}
-	res, m, err := vtmatch.Run(g.internal(), ids, g.M(), opt.simConfig())
+	res, m, err := vtmatch.Run(g.internal(), ids, g.M(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("awakemis: matching: %w", err)
 	}

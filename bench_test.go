@@ -248,6 +248,35 @@ func BenchmarkCommSet(b *testing.B) {
 	}
 }
 
+// BenchmarkEngines compares the two engines on the Luby workload at
+// engine-scaling sizes. Results are bit-identical across engines (the
+// cross-engine tests assert it); only wall-clock differs — the stepped
+// engine avoids the lockstep engine's per-node goroutines and
+// per-round channel handshakes. Measurements are recorded in
+// BENCH_engine.json:
+//
+//	go test -run xxx -bench BenchmarkEngines -benchtime 2x
+func BenchmarkEngines(b *testing.B) {
+	for _, n := range []int{1024, 10240, 102400} {
+		g := awakemis.GNP(n, 4/float64(n), int64(n))
+		for _, eng := range awakemis.Engines() {
+			b.Run(string(eng)+"/"+sizeName(n), func(b *testing.B) {
+				var last awakemis.Metrics
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := awakemis.Run(g, awakemis.Luby, awakemis.Options{Seed: int64(i), Engine: eng})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.Metrics
+				}
+				b.ReportMetric(float64(last.MaxAwake), "awake-max")
+				b.ReportMetric(float64(last.Rounds), "rounds")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorFlood measures raw engine throughput (messages
 // through the lock-step barriers).
 func BenchmarkSimulatorFlood(b *testing.B) {

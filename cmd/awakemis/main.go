@@ -6,6 +6,7 @@
 //
 //	awakemis -algo awake-mis -graph gnp -n 1024 -p 0.004 -seed 1
 //	awakemis -algo luby -graph cycle -n 4096
+//	awakemis -algo luby -n 1000000 -engine stepped -workers 8
 //	awakemis -list
 package main
 
@@ -28,6 +29,8 @@ func main() {
 		d        = flag.Int("d", 4, "degree for regular / attachments for powerlaw")
 		r        = flag.Float64("r", 0.1, "radius for geometric")
 		seed     = flag.Int64("seed", 1, "random seed")
+		engine   = flag.String("engine", "stepped", "simulation engine: stepped|lockstep (results are identical)")
+		workers  = flag.Int("workers", 0, "stepped-engine worker pool size (0 = one per CPU)")
 		strict   = flag.Bool("strict", true, "enforce the CONGEST bandwidth bound")
 		timeline = flag.Int("timeline", 0, "show an awake timeline of the k busiest nodes")
 		list     = flag.Bool("list", false, "list algorithms and exit")
@@ -60,6 +63,7 @@ func main() {
 	}
 	res, err := awakemis.Run(g, awakemis.Algorithm(*algo), awakemis.Options{
 		Seed: *seed, Strict: *strict, Trace: *timeline > 0,
+		Engine: awakemis.Engine(*engine), Workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -17,19 +17,27 @@ import (
 	"time"
 
 	"awakemis/internal/expt"
+	"awakemis/internal/sim"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		quick  = flag.Bool("quick", false, "smaller sweeps")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "trials per configuration (0 = default)")
-		sizes  = flag.String("sizes", "", "comma-separated n sweep (default: 64,256,1024,4096)")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "smaller sweeps")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 0, "trials per configuration (0 = default)")
+		sizes   = flag.String("sizes", "", "comma-separated n sweep (default: 64,256,1024,4096)")
+		engine  = flag.String("engine", "stepped", "simulation engine: stepped|lockstep (results are identical)")
+		workers = flag.Int("workers", 0, "stepped-engine worker pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	opts := expt.Options{Seed: *seed, Quick: *quick, Trials: *trials}
+	eng, err := sim.EngineByName(*engine, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := expt.Options{Seed: *seed, Quick: *quick, Trials: *trials, Engine: eng}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			var n int

@@ -1,0 +1,218 @@
+// Cross-engine equivalence tests: the determinism contract of
+// internal/sim, asserted at the public API for every algorithm. For a
+// fixed seed, the lockstep and stepped engines — and the stepped engine
+// at every worker count — must produce identical Results: the same MIS
+// membership, the same round count, and the same per-node awake
+// counters. The natively ported step-form algorithms are additionally
+// checked bit-identical against their goroutine-form originals.
+package awakemis_test
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"awakemis"
+	"awakemis/internal/graph"
+	"awakemis/internal/luby"
+	"awakemis/internal/naive"
+	"awakemis/internal/sim"
+	"awakemis/internal/vtcolor"
+	"awakemis/internal/vtmatch"
+	"awakemis/internal/vtmis"
+)
+
+// engineConfigs is the grid of (engine, workers) the contract covers.
+func engineConfigs() []awakemis.Options {
+	return []awakemis.Options{
+		{Engine: awakemis.EngineLockstep},
+		{Engine: awakemis.EngineStepped, Workers: 1},
+		{Engine: awakemis.EngineStepped, Workers: 4},
+		{Engine: awakemis.EngineStepped, Workers: runtime.NumCPU()},
+	}
+}
+
+func equivGraphs() map[string]*awakemis.Graph {
+	return map[string]*awakemis.Graph{
+		"gnp":   awakemis.GNP(90, 0.05, 5),
+		"cycle": awakemis.Cycle(41),
+		"grid":  awakemis.Grid(7, 8),
+	}
+}
+
+func TestAllAlgorithmsIdenticalAcrossEngines(t *testing.T) {
+	for gname, g := range equivGraphs() {
+		for _, algo := range awakemis.Algorithms() {
+			t.Run(gname+"/"+string(algo), func(t *testing.T) {
+				for _, seed := range []int64{1, 17} {
+					var ref *awakemis.Result
+					for _, base := range engineConfigs() {
+						opt := base
+						opt.Seed = seed
+						opt.Strict = true
+						res, err := awakemis.Run(g, algo, opt)
+						if err != nil {
+							t.Fatalf("engine %s/%d: %v", opt.Engine, opt.Workers, err)
+						}
+						if ref == nil {
+							ref = res
+							continue
+						}
+						if !reflect.DeepEqual(ref.InMIS, res.InMIS) {
+							t.Fatalf("seed %d: MIS diverges on %s/%d", seed, opt.Engine, opt.Workers)
+						}
+						if !reflect.DeepEqual(ref.Metrics, res.Metrics) {
+							t.Fatalf("seed %d: metrics diverge on %s/%d:\n%+v\nvs\n%+v",
+								seed, opt.Engine, opt.Workers, ref.Metrics, res.Metrics)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestColoringMatchingIdenticalAcrossEngines(t *testing.T) {
+	g := awakemis.GNP(80, 0.06, 3)
+	var refColor *awakemis.ColoringResult
+	var refMatch *awakemis.MatchingResult
+	for _, base := range engineConfigs() {
+		opt := base
+		opt.Seed = 5
+		cres, err := awakemis.RunColoring(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mres, err := awakemis.RunMatching(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refColor == nil {
+			refColor, refMatch = cres, mres
+			continue
+		}
+		if !reflect.DeepEqual(refColor, cres) {
+			t.Errorf("coloring diverges on %s/%d", opt.Engine, opt.Workers)
+		}
+		if !reflect.DeepEqual(refMatch, mres) {
+			t.Errorf("matching diverges on %s/%d", opt.Engine, opt.Workers)
+		}
+	}
+}
+
+// TestStepPortsMatchGoroutineOriginals runs each natively ported
+// algorithm in both program forms on both engines and demands identical
+// outputs and metrics — the port-faithfulness check.
+func TestStepPortsMatchGoroutineOriginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.GNP(70, 0.07, rng)
+	n := g.N()
+	ids := make([]int, n)
+	for v, p := range rng.Perm(n) {
+		ids[v] = p + 1
+	}
+	edgeIDs := vtmatch.EdgeIDs{}
+	for i, e := range g.Edges() {
+		edgeIDs[e] = i + 1
+	}
+
+	type variant struct {
+		out  func() any // fresh result container read back after the run
+		prog func(out any) sim.NodeProgram
+	}
+	cases := map[string]map[string]variant{
+		"naive": {
+			"goroutine": {
+				out:  func() any { return &naive.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return naive.Program(o.(*naive.Result), ids, n) },
+			},
+			"step": {
+				out:  func() any { return &naive.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return naive.StepProgram(o.(*naive.Result), ids, n) },
+			},
+		},
+		"luby": {
+			"goroutine": {
+				out:  func() any { return &luby.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return luby.Program(o.(*luby.Result)) },
+			},
+			"step": {
+				out:  func() any { return &luby.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return luby.StepProgram(o.(*luby.Result)) },
+			},
+		},
+		"vtmis": {
+			"goroutine": {
+				out:  func() any { return &vtmis.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return vtmis.Program(o.(*vtmis.Result), ids, n) },
+			},
+			"step": {
+				out:  func() any { return &vtmis.Result{InMIS: make([]bool, n)} },
+				prog: func(o any) sim.NodeProgram { return vtmis.StepProgram(o.(*vtmis.Result), ids, n) },
+			},
+		},
+		"vtcolor": {
+			"goroutine": {
+				out:  func() any { return &vtcolor.Result{Color: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram { return vtcolor.Program(o.(*vtcolor.Result), ids, n) },
+			},
+			"step": {
+				out:  func() any { return &vtcolor.Result{Color: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram { return vtcolor.StepProgram(o.(*vtcolor.Result), ids, n) },
+			},
+		},
+		"vtmatch": {
+			"goroutine": {
+				out: func() any {
+					r := &vtmatch.Result{MatchedWith: make([]int, n)}
+					for i := range r.MatchedWith {
+						r.MatchedWith[i] = -1
+					}
+					return r
+				},
+				prog: func(o any) sim.NodeProgram { return vtmatch.Program(o.(*vtmatch.Result), g, edgeIDs) },
+			},
+			"step": {
+				out: func() any {
+					r := &vtmatch.Result{MatchedWith: make([]int, n)}
+					for i := range r.MatchedWith {
+						r.MatchedWith[i] = -1
+					}
+					return r
+				},
+				prog: func(o any) sim.NodeProgram { return vtmatch.StepProgram(o.(*vtmatch.Result), g, edgeIDs) },
+			},
+		},
+	}
+
+	engines := map[string]sim.Engine{
+		"lockstep": sim.NewLockstepEngine(),
+		"stepped":  sim.NewSteppedEngine(4),
+	}
+	for algo, forms := range cases {
+		t.Run(algo, func(t *testing.T) {
+			var refOut any
+			var refMetrics *sim.Metrics
+			for fname, form := range forms {
+				for ename, eng := range engines {
+					out := form.out()
+					m, err := eng.Run(g, form.prog(out), sim.Config{Seed: 31, Strict: true})
+					if err != nil {
+						t.Fatalf("%s/%s: %v", fname, ename, err)
+					}
+					if refOut == nil {
+						refOut, refMetrics = out, m
+						continue
+					}
+					if !reflect.DeepEqual(refOut, out) {
+						t.Fatalf("%s/%s: output diverges from reference", fname, ename)
+					}
+					if !reflect.DeepEqual(refMetrics, m) {
+						t.Fatalf("%s/%s: metrics diverge:\n%+v\nvs\n%+v", fname, ename, refMetrics, m)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module awakemis
+
+go 1.24

@@ -35,6 +35,17 @@ type Options struct {
 	Trials int
 	// Quick shrinks sweeps for CI-speed runs.
 	Quick bool
+	// Engine runs every simulation on a specific engine (nil means the
+	// default stepped engine). Results are engine-independent; this knob
+	// exists for benchmarking and cross-checking.
+	Engine sim.Engine
+}
+
+// simConfig applies the harness-wide engine selection to one run's
+// configuration.
+func (o Options) simConfig(cfg sim.Config) sim.Config {
+	cfg.Engine = o.Engine
+	return cfg
 }
 
 func (o Options) withDefaults() Options {
@@ -148,7 +159,7 @@ func sweepMIS(o Options, w io.Writer, name string,
 func runE1(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Awake-MIS (Theorem 13). Expected shape: max awake ~O(log log n) — nearly flat.")
 	return sweepMIS(o, w, "awake-mis", func(g *graph.Graph, n int, seed int64) (*sim.Metrics, []bool, error) {
-		res, m, err := core.Run(g, core.Params{}, sim.Config{Seed: seed, Strict: true})
+		res, m, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -162,7 +173,7 @@ func runE2(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "the paper's round-complexity advantage of this variant inverts; awake stays O(log log n)·log* n.")
 	return sweepMIS(o, w, "awake-mis-round", func(g *graph.Graph, n int, seed int64) (*sim.Metrics, []bool, error) {
 		res, m, err := core.Run(g, core.Params{Variant: ldtmis.VariantRound},
-			sim.Config{Seed: seed, Strict: true})
+			o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -185,7 +196,7 @@ func runE3(o Options, w io.Writer) error {
 			for v := range ids {
 				ids[v] = perm[v] + 1
 			}
-			res, m, err := vtmis.Run(g, ids, idBound, sim.Config{Seed: seed, Strict: true})
+			res, m, err := vtmis.Run(g, ids, idBound, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 			if err != nil {
 				return err
 			}
@@ -224,7 +235,7 @@ func runE4(o Options, w io.Writer) error {
 					}
 				}
 			}
-			res, m, err := ldtmis.Run(g, ids, np, v, sim.Config{Seed: seed, N: 1 << 16, Strict: true})
+			res, m, err := ldtmis.Run(g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
 			if err != nil {
 				return err
 			}
@@ -300,7 +311,7 @@ func runE7(o Options, w io.Writer) error {
 		g := workload(n, seed)
 		rng := rand.New(rand.NewSource(seed))
 
-		lres, lm, err := luby.Run(g, sim.Config{Seed: seed, Strict: true})
+		lres, lm, err := luby.Run(g, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return err
 		}
@@ -328,7 +339,7 @@ func runE7(o Options, w io.Writer) error {
 			// The naive baseline keeps every node awake for all I = n
 			// rounds (Θ(n²) awake node-rounds) — that cost is its point,
 			// but it makes large sweeps impractical.
-			nres, nm, err := naive.Run(g, ids, n, sim.Config{Seed: seed, Strict: true})
+			nres, nm, err := naive.Run(g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 			if err != nil {
 				return err
 			}
@@ -338,7 +349,7 @@ func runE7(o Options, w io.Writer) error {
 			record("naive-greedy", nm)
 		}
 
-		vres, vm, err := vtmis.Run(g, ids, n, sim.Config{Seed: seed, Strict: true})
+		vres, vm, err := vtmis.Run(g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return err
 		}
@@ -347,7 +358,7 @@ func runE7(o Options, w io.Writer) error {
 		}
 		record("vt-mis", vm)
 
-		ares, am, err := core.Run(g, core.Params{}, sim.Config{Seed: seed, Strict: true})
+		ares, am, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return err
 		}
@@ -379,13 +390,13 @@ func runE8(o Options, w io.Writer) error {
 	for _, n := range o.Sizes {
 		seed := o.Seed + int64(n)
 		g := workload(n, seed)
-		lres, lm, err := luby.Run(g, sim.Config{Seed: seed})
+		lres, lm, err := luby.Run(g, o.simConfig(sim.Config{Seed: seed}))
 		if err != nil {
 			return err
 		}
 		_ = lres
 		tb.Add(n, "luby", lm.AvgAwake(), lm.MaxAwake, float64(lm.MaxAwake)/lm.AvgAwake())
-		ares, am, err := core.Run(g, core.Params{}, sim.Config{Seed: seed})
+		ares, am, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed}))
 		if err != nil {
 			return err
 		}
@@ -421,7 +432,7 @@ func runE9(o Options, w io.Writer) error {
 					}
 				}
 			}
-			res, m, err := ldtmis.Run(g, ids, np, v, sim.Config{Seed: seed, N: 1 << 16, Strict: true})
+			res, m, err := ldtmis.Run(g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
 			if err != nil {
 				return err
 			}

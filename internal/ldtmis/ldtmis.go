@@ -9,6 +9,12 @@
 // random permutation and ships it down in O((n′ log n′)/log I) chunked
 // broadcasts; (4) each node adopts the permutation entry at its rank as
 // a fresh small ID and runs VT-MIS with those IDs.
+//
+// The node program stays in goroutine form: the LDT tree procedures are
+// deeply sequential (construction phases, upcast/downcast windows,
+// chunked broadcasts), so on the stepped engine it runs through the
+// engine's coroutine adapter — bit-identical with lockstep, as the
+// cross-engine tests assert.
 package ldtmis
 
 import (

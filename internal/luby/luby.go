@@ -35,18 +35,25 @@ type Result struct {
 	InMIS []bool
 }
 
-// Program returns the per-node program writing into res (res.InMIS must
-// have length n). Each iteration costs two rounds: a value-exchange
-// round and a join-announcement round. Ties are broken conservatively
-// (neither endpoint is a local minimum), which preserves independence;
-// with values drawn from [0, N⁴) ties are rare.
+// valueSpace returns the tie-avoiding value space [0, N⁴) (clamped up
+// to 2¹⁶ for tiny N), shared by both program forms.
+func valueSpace(n int) int64 {
+	n4 := int64(n)
+	n4 = n4 * n4 * n4 * n4
+	if n4 < 1<<16 {
+		n4 = 1 << 16
+	}
+	return n4
+}
+
+// Program returns the per-node program in goroutine form, writing into
+// res (res.InMIS must have length n). Each iteration costs two rounds:
+// a value-exchange round and a join-announcement round. Ties are broken
+// conservatively (neither endpoint is a local minimum), which preserves
+// independence; with values drawn from [0, N⁴) ties are rare.
 func Program(res *Result) sim.Program {
 	return func(ctx *sim.Ctx) {
-		n4 := int64(ctx.N())
-		n4 = n4 * n4 * n4 * n4
-		if n4 < 1<<16 {
-			n4 = 1 << 16
-		}
+		n4 := valueSpace(ctx.N())
 		for {
 			// Value round: only undecided nodes send.
 			val := ctx.Rand().Int63n(n4)
@@ -79,10 +86,71 @@ func Program(res *Result) sim.Program {
 	}
 }
 
+// stepNode is the state-machine form of Program: the two rounds of each
+// iteration become two OnWake calls. The join-round broadcast is staged
+// while processing the value round's inbox (it depends only on whether
+// this node was the local minimum), and the next iteration's value is
+// drawn while processing the join round — the same per-node RNG order
+// as the goroutine form, so both forms run bit-identically.
+type stepNode struct {
+	res   *Result
+	node  int
+	env   *sim.NodeEnv
+	n4    int64
+	val   int64
+	isMin bool
+	join  bool // next OnWake is a join round
+}
+
+// StepProgram returns the per-node program in step form.
+func StepProgram(res *Result) sim.StepProgram {
+	return func(env *sim.NodeEnv) sim.StepNode {
+		return &stepNode{res: res, node: env.ID, env: env, n4: valueSpace(env.N)}
+	}
+}
+
+func (n *stepNode) Start(out *sim.Outbox) {
+	n.val = n.env.Rand.Int63n(n.n4)
+	out.Broadcast(valueMsg{Value: n.val})
+}
+
+func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (int64, bool) {
+	if !n.join {
+		// Value round: am I the local minimum among undecided neighbors?
+		n.isMin = true
+		for _, m := range inbox {
+			if vm, ok := m.Msg.(valueMsg); ok && vm.Value <= n.val {
+				n.isMin = false
+				break
+			}
+		}
+		n.join = true
+		if n.isMin {
+			n.res.InMIS[n.node] = true
+			out.Broadcast(joinMsg{})
+		}
+		return round + 1, false
+	}
+	// Join round: winners halt after announcing; losers halt on hearing
+	// a neighbor join, else start another iteration.
+	if n.isMin {
+		return 0, true
+	}
+	for _, m := range inbox {
+		if _, ok := m.Msg.(joinMsg); ok {
+			return 0, true
+		}
+	}
+	n.join = false
+	n.val = n.env.Rand.Int63n(n.n4)
+	out.Broadcast(valueMsg{Value: n.val})
+	return round + 1, false
+}
+
 // Run executes Luby's algorithm on g and returns the MIS selection and
 // metrics.
 func Run(g *graph.Graph, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	res := &Result{InMIS: make([]bool, g.N())}
-	m, err := sim.Run(g, Program(res), cfg)
+	m, err := sim.RunStep(g, StepProgram(res), cfg)
 	return res, m, err
 }

@@ -19,10 +19,10 @@ type Result struct {
 	InMIS []bool
 }
 
-// Program returns the per-node program. ids assigns each node a unique
-// ID in [1, I]. Every node stays awake for all I rounds (that is the
-// point of the baseline); the LFMIS with respect to the ID order is
-// produced.
+// Program returns the per-node program in goroutine form. ids assigns
+// each node a unique ID in [1, I]. Every node stays awake for all I
+// rounds (that is the point of the baseline); the LFMIS with respect to
+// the ID order is produced.
 func Program(res *Result, ids []int, idBound int) sim.Program {
 	return func(ctx *sim.Ctx) {
 		id := ids[ctx.Node()]
@@ -49,13 +49,56 @@ func Program(res *Result, ids []int, idBound int) sim.Program {
 	}
 }
 
+// stepNode is the state-machine form of Program: algorithm round r is
+// simulator round r-1, and the broadcast for round r+1 is staged while
+// processing round r's inbox. Both forms run bit-identically.
+type stepNode struct {
+	res     *Result
+	node    int
+	id      int
+	idBound int
+	state   misproto.State
+}
+
+// StepProgram returns the per-node program in step form.
+func StepProgram(res *Result, ids []int, idBound int) sim.StepProgram {
+	return func(env *sim.NodeEnv) sim.StepNode {
+		return &stepNode{res: res, node: env.ID, id: ids[env.ID], idBound: idBound}
+	}
+}
+
+func (n *stepNode) Start(out *sim.Outbox) {
+	out.Broadcast(misproto.StateMsg{State: n.state}) // algorithm round 1
+}
+
+func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (int64, bool) {
+	r := int(round) + 1 // algorithm round
+	if n.state == misproto.Undecided {
+		for _, m := range inbox {
+			if sm, ok := m.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+				n.state = misproto.NotInMIS
+				break
+			}
+		}
+	}
+	if r == n.id && n.state == misproto.Undecided {
+		n.state = misproto.InMIS
+		n.res.InMIS[n.node] = true
+	}
+	if r == n.idBound {
+		return 0, true
+	}
+	out.Broadcast(misproto.StateMsg{State: n.state})
+	return round + 1, false
+}
+
 // Run executes the naive algorithm with the given ID assignment.
 func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if err := CheckIDs(g.N(), ids, idBound); err != nil {
 		return nil, nil, err
 	}
 	res := &Result{InMIS: make([]bool, g.N())}
-	m, err := sim.Run(g, Program(res, ids, idBound), cfg)
+	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 

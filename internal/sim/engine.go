@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+
+	"awakemis/internal/graph"
+)
+
+// NodeProgram is either form of per-node algorithm: Program (goroutine
+// form) or StepProgram (state-machine form). Every Engine accepts both,
+// adapting whichever is not its native form.
+type NodeProgram interface {
+	isNodeProgram()
+}
+
+// Engine executes a node program over a graph. Implementations must
+// honor the package's determinism contract: identical (graph, program,
+// Config.Seed) runs produce identical Metrics and per-node outputs on
+// every engine.
+type Engine interface {
+	// Name identifies the engine ("lockstep" or "stepped").
+	Name() string
+	// Run executes prog on every node of g under cfg. cfg.Engine is
+	// ignored (the receiver runs the program).
+	Run(g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error)
+}
+
+var defaultEngine Engine = NewSteppedEngine(0)
+
+// Default returns the engine Run uses when Config.Engine is nil: the
+// stepped engine with one worker per CPU.
+func Default() Engine { return defaultEngine }
+
+func engineOf(cfg Config) Engine {
+	if cfg.Engine != nil {
+		return cfg.Engine
+	}
+	return defaultEngine
+}
+
+// EngineByName resolves an engine from its CLI/config name: "stepped"
+// (or "") with the given worker count, or "lockstep".
+func EngineByName(name string, workers int) (Engine, error) {
+	switch name {
+	case "", "stepped":
+		if workers == 0 {
+			return defaultEngine, nil
+		}
+		return NewSteppedEngine(workers), nil
+	case "lockstep":
+		return NewLockstepEngine(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %q (want stepped or lockstep)", name)
+	}
+}

@@ -8,20 +8,57 @@
 // Messages sent to (or by) a sleeping node are lost. Nodes know the
 // current round number whenever they are awake.
 //
-// The engine runs one goroutine per node, synchronized in lock-step by
-// channels, and skips over rounds in which every node sleeps, so that
-// round numbers are exact (round complexity is measured faithfully)
-// while simulation cost is proportional to the total number of awake
+// # Node programs
+//
+// Algorithms come in two interchangeable forms. A Program is a
+// goroutine-style procedure that drives rounds imperatively through a
+// Ctx (Send, Deliver, Sleep). A StepProgram is an explicit state
+// machine: the engine calls OnWake once per awake round with the
+// round's inbox, and the node returns the messages for its next awake
+// round plus when that round is. Adapters convert each form to the
+// other, so every engine runs every program.
+//
+// # Engines
+//
+// Two Engine implementations execute programs:
+//
+//   - LockstepEngine runs one goroutine per node, synchronized in
+//     lock-step by channels — simple, and the reference semantics.
+//   - SteppedEngine (the default) keeps all node state inline, drives
+//     awake nodes from a wake-time bucket queue, and fans each round's
+//     OnWake calls across a worker pool in deterministic node-index
+//     shards. It avoids per-node goroutines and channel handshakes
+//     entirely, which makes million-node runs feasible.
+//
+// # Determinism contract
+//
+// For a fixed (graph, program, Config.Seed), both engines — and the
+// stepped engine at every worker count — produce bit-identical results:
+// the same per-node outputs, the same Metrics (including AwakePerNode),
+// and the same message streams. This holds because (a) each node owns a
+// private RNG stream derived from Config.Seed and its index, (b) a
+// node's step depends only on its own state and inbox, and (c) message
+// routing and inbox ordering go through code shared by both engines:
+// senders are processed in ascending node order and each inbox is
+// sorted by arrival port. Cross-engine tests assert this contract for
+// every algorithm in the repository.
+//
+// The contract covers runs that complete without error. On a failing
+// run both engines report an error, but they differ in which node's
+// failure surfaces and in how far the metrics advanced: the stepped
+// engine aborts at the first failing round (lowest node index first),
+// while the lockstep engine lets unaffected nodes keep running.
+//
+// Both engines skip over rounds in which every node sleeps, so round
+// numbers are exact (round complexity is measured faithfully) while
+// simulation cost is proportional to the total number of awake
 // node-rounds. Awake complexity (§1.4) is metered per node.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
-	"sync"
 
 	"awakemis/internal/bitio"
 	"awakemis/internal/graph"
@@ -41,17 +78,13 @@ type Inbound struct {
 	Msg  Message
 }
 
-// Program is the per-node algorithm. It runs on its own goroutine and
-// drives rounds through the Ctx. Returning from the program halts the
-// node (its awake-round counter stops).
-type Program func(ctx *Ctx)
-
 // Config controls a simulation run. The zero value gives sensible
 // defaults: bandwidth 16·⌈log₂N⌉+16 bits, strict CONGEST enforcement
-// off, a generous round cutoff, and N equal to the actual node count.
+// off, a generous round cutoff, N equal to the actual node count, and
+// the default (stepped) engine.
 type Config struct {
 	// Seed derives every node's private randomness; identical seeds
-	// replay identical executions.
+	// replay identical executions on every engine.
 	Seed int64
 	// N is the common polynomial upper bound on the node count known to
 	// every node (the paper's N). Zero means the exact node count.
@@ -68,6 +101,25 @@ type Config struct {
 	// message routing) as they happen. Tracer methods are called from
 	// the engine goroutine only.
 	Tracer Tracer
+	// Engine selects the runtime engine. Nil means Default().
+	Engine Engine
+}
+
+// withDefaults validates cfg against the node count and fills defaults.
+func (cfg Config) withDefaults(n int) (Config, error) {
+	if cfg.N == 0 {
+		cfg.N = n
+	}
+	if cfg.N < n {
+		return cfg, fmt.Errorf("sim: N=%d below node count %d", cfg.N, n)
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = DefaultBandwidth(cfg.N)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 40
+	}
+	return cfg, nil
 }
 
 // Tracer observes a simulation for debugging and visualization.
@@ -113,6 +165,18 @@ func (m *Metrics) AvgAwake() float64 {
 	return float64(m.TotalAwake) / float64(len(m.AwakePerNode))
 }
 
+// noteAwake meters the start of an awake round for node v.
+func (m *Metrics) noteAwake(v int, clock int64, tracer Tracer) {
+	m.AwakePerNode[v]++
+	m.TotalAwake++
+	if m.AwakePerNode[v] > m.MaxAwake {
+		m.MaxAwake = m.AwakePerNode[v]
+	}
+	if tracer != nil {
+		tracer.NodeAwake(clock, v)
+	}
+}
+
 // ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
 var ErrMaxRounds = errors.New("sim: exceeded MaxRounds")
 
@@ -134,411 +198,148 @@ func DefaultBandwidth(n int) int {
 	return 16*bitio.UintBits(uint64(n)) + 16
 }
 
-type phase uint8
-
-const (
-	phaseCompute   phase = iota // in step (1)/(2): may Send, must Deliver
-	phaseDelivered              // after Deliver: must end the round
-)
-
-type eventKind uint8
-
-const (
-	evSends eventKind = iota // node finished its send step
-	evEnd                    // node finished the round (nextWake set)
-)
-
-type nodeEvent struct {
-	id   int
-	kind eventKind
-}
-
-const haltedWake = int64(-1)
-
+// outMsg is a staged send: a message queued on a local port.
 type outMsg struct {
 	port int
 	msg  Message
 }
 
-type nodeState struct {
-	cont     chan struct{}  // engine -> node: your awake round began
-	inboxCh  chan []Inbound // engine -> node: receive step payload
-	nextWake int64          // written by node before evEnd
-	roundNow int64          // written by engine before cont
-	out      []outMsg       // written by node during compute, read after evSends
-	inbox    []Inbound      // staged by engine during routing
-	err      error          // program panic, converted to error
-	halted   bool
-}
-
-type engine struct {
-	g      *graph.Graph
-	cfg    Config
-	states []*nodeState
-	events chan nodeEvent
-	quit   chan struct{}
-	wg     sync.WaitGroup
-	m      Metrics
-}
-
-type haltSignal struct{}
-type quitSignal struct{}
-
-// Ctx is a node's handle to the simulation. All methods must be called
-// from the node's own program goroutine.
-type Ctx struct {
-	eng   *engine
-	id    int
-	rng   *rand.Rand
-	ph    phase
-	round int64
-	extra any // per-node scratch usable by composed sub-algorithms
-}
-
-// Node returns the node's index. The model is anonymous: algorithms may
-// use the index to record their output but must not base decisions on
-// it (tests shuffle indices to keep implementations honest).
-func (c *Ctx) Node() int { return c.id }
-
-// N returns the common upper bound on the network size known to nodes.
-func (c *Ctx) N() int { return c.eng.cfg.N }
-
-// Bandwidth returns the per-message bit budget B.
-func (c *Ctx) Bandwidth() int { return c.eng.cfg.Bandwidth }
-
-// Degree returns the node's number of ports.
-func (c *Ctx) Degree() int { return c.eng.g.Degree(c.id) }
-
-// Round returns the current round number.
-func (c *Ctx) Round() int64 { return c.round }
-
-// Rand returns the node's private randomness source.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
-
-// Extra returns mutable per-node scratch shared between composed
-// sub-algorithms running on the same node.
-func (c *Ctx) Extra() any { return c.extra }
-
-// SetExtra stores per-node scratch.
-func (c *Ctx) SetExtra(v any) { c.extra = v }
-
-// Send queues a message on the given port for this round. It must be
-// called before Deliver. If the receiving neighbor is asleep this round,
-// the message is lost.
-func (c *Ctx) Send(port int, m Message) {
-	if c.ph != phaseCompute {
-		panic("sim: Send after Deliver in the same round")
-	}
-	if port < 0 || port >= c.Degree() {
-		panic(fmt.Sprintf("sim: node %d: invalid port %d (degree %d)", c.id, port, c.Degree()))
-	}
-	bits := m.Bits()
-	if c.eng.cfg.Strict && bits > c.eng.cfg.Bandwidth {
-		panic(&BandwidthError{Node: c.id, Port: port, Bits: bits, Budget: c.eng.cfg.Bandwidth})
-	}
-	c.eng.states[c.id].out = append(c.eng.states[c.id].out, outMsg{port, m})
-}
-
-// Broadcast sends m on every port.
-func (c *Ctx) Broadcast(m Message) {
-	for p := 0; p < c.Degree(); p++ {
-		c.Send(p, m)
-	}
-}
-
-// Deliver completes the send step of the current round and returns the
-// messages received this round, sorted by arrival port. It must be
-// called exactly once per awake round (ending the round calls it
-// implicitly, discarding the inbox).
-func (c *Ctx) Deliver() []Inbound {
-	if c.ph != phaseCompute {
-		panic("sim: Deliver called twice in one round")
-	}
-	c.ph = phaseDelivered
-	st := c.eng.states[c.id]
-	c.sendEvent(nodeEvent{c.id, evSends})
-	select {
-	case in := <-st.inboxCh:
-		return in
-	case <-c.eng.quit:
-		panic(quitSignal{})
-	}
-}
-
-// Advance ends the current round with the node staying awake in the
-// next round.
-func (c *Ctx) Advance() { c.endRound(c.round + 1) }
-
-// Sleep ends the current round and sleeps for k full rounds, waking in
-// round Round()+k+1. Sleep(0) is equivalent to Advance.
-func (c *Ctx) Sleep(k int64) {
-	if k < 0 {
-		panic("sim: negative sleep")
-	}
-	c.endRound(c.round + 1 + k)
-}
-
-// SleepUntil ends the current round and wakes the node in round r.
-func (c *Ctx) SleepUntil(r int64) {
-	if r <= c.round {
-		panic(fmt.Sprintf("sim: SleepUntil(%d) not after current round %d", r, c.round))
-	}
-	c.endRound(r)
-}
-
-// Halt terminates the node's program immediately.
-func (c *Ctx) Halt() { panic(haltSignal{}) }
-
-func (c *Ctx) endRound(next int64) {
-	if c.ph == phaseCompute {
-		_ = c.Deliver() // complete the round's receive step; discard inbox
-	}
-	st := c.eng.states[c.id]
-	st.nextWake = next
-	c.sendEvent(nodeEvent{c.id, evEnd})
-	select {
-	case <-st.cont:
-		c.round = st.roundNow
-		c.ph = phaseCompute
-	case <-c.eng.quit:
-		panic(quitSignal{})
-	}
-}
-
-func (c *Ctx) sendEvent(ev nodeEvent) {
-	select {
-	case c.eng.events <- ev:
-	case <-c.eng.quit:
-		panic(quitSignal{})
-	}
-}
-
-// wakeHeap is a min-heap of (round, node) pairs.
-type wakeItem struct {
-	round int64
-	id    int
-}
-type wakeHeap []wakeItem
-
-func (h wakeHeap) Len() int { return len(h) }
-func (h wakeHeap) Less(i, j int) bool {
-	return h[i].round < h[j].round || (h[i].round == h[j].round && h[i].id < h[j].id)
-}
-func (h wakeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *wakeHeap) Push(x any)   { *h = append(*h, x.(wakeItem)) }
-func (h *wakeHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
-
-// Run simulates prog on every node of g under cfg and returns the
-// measured complexity metrics. It returns an error if any node program
-// panicked, violated the CONGEST bound under Strict, or the run
-// exceeded MaxRounds.
+// Run simulates the goroutine-form prog on every node of g under cfg
+// and returns the measured complexity metrics. It returns an error if
+// any node program panicked, violated the CONGEST bound under Strict,
+// or the run exceeded MaxRounds. The engine is cfg.Engine (Default()
+// when nil).
 func Run(g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
-	n := g.N()
-	if cfg.N == 0 {
-		cfg.N = n
-	}
-	if cfg.N < n {
-		return nil, fmt.Errorf("sim: N=%d below node count %d", cfg.N, n)
-	}
-	if cfg.Bandwidth == 0 {
-		cfg.Bandwidth = DefaultBandwidth(cfg.N)
-	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 1 << 40
-	}
-
-	e := &engine{
-		g:      g,
-		cfg:    cfg,
-		states: make([]*nodeState, n),
-		events: make(chan nodeEvent, n),
-		quit:   make(chan struct{}),
-	}
-	e.m.AwakePerNode = make([]int64, n)
-
-	h := make(wakeHeap, 0, n)
-	for v := 0; v < n; v++ {
-		st := &nodeState{
-			cont:    make(chan struct{}, 1),
-			inboxCh: make(chan []Inbound, 1),
-		}
-		e.states[v] = st
-		h = append(h, wakeItem{0, v}) // all nodes start awake in round 0
-		ctx := &Ctx{eng: e, id: v, rng: rand.New(rand.NewSource(mix(cfg.Seed, int64(v))))}
-		e.wg.Add(1)
-		go e.nodeMain(ctx, prog)
-	}
-	heap.Init(&h)
-
-	err := e.loop(&h)
-	close(e.quit)
-	e.wg.Wait()
-	if err == nil {
-		for v, st := range e.states {
-			if st.err != nil {
-				err = fmt.Errorf("sim: node %d: %w", v, st.err)
-				break
-			}
-		}
-	}
-	return &e.m, err
+	return engineOf(cfg).Run(g, prog, cfg)
 }
 
-func (e *engine) nodeMain(ctx *Ctx, prog Program) {
-	defer e.wg.Done()
-	st := e.states[ctx.id]
-	// Wait for round 0.
-	select {
-	case <-st.cont:
-		ctx.round = st.roundNow
-	case <-e.quit:
-		return
-	}
-	aborted := func() (aborted bool) {
-		defer func() {
-			switch r := recover().(type) {
-			case nil, haltSignal:
-			case quitSignal:
-				aborted = true
-			case error:
-				st.err = fmt.Errorf("program panic: %w", r)
-			default:
-				st.err = fmt.Errorf("program panic: %v", r)
-			}
-		}()
-		prog(ctx)
-		return false
-	}()
-	if aborted {
-		return
-	}
-	// Graceful halt from whatever point in the round the program stopped.
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(quitSignal); !ok {
-					panic(r)
-				}
-			}
-		}()
-		if ctx.ph == phaseCompute {
-			ctx.ph = phaseDelivered
-			ctx.sendEvent(nodeEvent{ctx.id, evSends})
-			select {
-			case <-st.inboxCh:
-			case <-e.quit:
-				panic(quitSignal{})
-			}
-		}
-		st.halted = true
-		st.nextWake = haltedWake
-		ctx.sendEvent(nodeEvent{ctx.id, evEnd})
-	}()
+// RunStep is Run for step-form programs.
+func RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Metrics, error) {
+	return engineOf(cfg).Run(g, prog, cfg)
 }
 
-func (e *engine) loop(h *wakeHeap) error {
-	awake := make([]int, 0, len(e.states))
-	awakeStamp := make([]int64, len(e.states)) // awakeStamp[v] == clock+1 iff v awake now
-	for h.Len() > 0 {
-		clock := (*h)[0].round
-		if clock > e.cfg.MaxRounds {
-			return fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
-		}
-		awake = awake[:0]
-		for h.Len() > 0 && (*h)[0].round == clock {
-			awake = append(awake, heap.Pop(h).(wakeItem).id)
-		}
-		sort.Ints(awake)
-		e.m.ExecutedRounds++
-		if clock+1 > e.m.Rounds {
-			e.m.Rounds = clock + 1
-		}
-
-		// Step 1+2: wake everyone scheduled for this round; collect sends.
-		for _, v := range awake {
-			st := e.states[v]
-			st.roundNow = clock
-			e.m.AwakePerNode[v]++
-			e.m.TotalAwake++
-			if e.m.AwakePerNode[v] > e.m.MaxAwake {
-				e.m.MaxAwake = e.m.AwakePerNode[v]
+// routeRound delivers one round's staged sends between mutually awake
+// nodes and meters the traffic. Senders are processed in ascending node
+// order (awake must be sorted); receivers' inboxes accumulate in that
+// order and are port-sorted before delivery. Both engines route through
+// this function — the cross-engine determinism contract depends on it.
+//
+// stamp must satisfy stamp[v] == clock+1 exactly for awake v; the
+// function establishes that invariant itself.
+func routeRound(g *graph.Graph, m *Metrics, tracer Tracer, clock int64, awake []int, stamp []int64,
+	outOf func(v int) []outMsg, inboxOf func(v int) *[]Inbound) {
+	for _, v := range awake {
+		stamp[v] = clock + 1
+	}
+	for _, v := range awake {
+		for _, om := range outOf(v) {
+			bits := om.msg.Bits()
+			m.MessagesSent++
+			m.BitsSent += int64(bits)
+			if bits > m.MaxMessageBits {
+				m.MaxMessageBits = bits
 			}
-			if e.cfg.Tracer != nil {
-				e.cfg.Tracer.NodeAwake(clock, v)
+			w := g.Neighbor(v, om.port)
+			delivered := stamp[w] == clock+1
+			if tracer != nil {
+				tracer.Message(clock, v, w, bits, delivered)
 			}
-			st.cont <- struct{}{}
-		}
-		if err := e.collect(len(awake), evSends); err != nil {
-			return err
-		}
-
-		// Routing: deliver only between mutually awake neighbors.
-		for _, v := range awake {
-			awakeStamp[v] = clock + 1
-		}
-		for _, v := range awake {
-			st := e.states[v]
-			for _, om := range st.out {
-				bits := om.msg.Bits()
-				e.m.MessagesSent++
-				e.m.BitsSent += int64(bits)
-				if bits > e.m.MaxMessageBits {
-					e.m.MaxMessageBits = bits
-				}
-				w := e.g.Neighbor(v, om.port)
-				delivered := awakeStamp[w] == clock+1
-				if e.cfg.Tracer != nil {
-					e.cfg.Tracer.Message(clock, v, w, bits, delivered)
-				}
-				if !delivered {
-					continue // receiver asleep: message lost
-				}
-				backPort := portOf(e.g, w, v)
-				e.states[w].inbox = append(e.states[w].inbox, Inbound{Port: backPort, Msg: om.msg})
-				e.m.MessagesDelivered++
+			if !delivered {
+				continue // receiver asleep: message lost
 			}
-			st.out = st.out[:0]
-		}
-
-		// Step 3: deliver inboxes (sorted by port for determinism).
-		for _, v := range awake {
-			st := e.states[v]
-			in := st.inbox
-			st.inbox = nil
-			sort.Slice(in, func(i, j int) bool { return in[i].Port < in[j].Port })
-			st.inboxCh <- in
-		}
-		if err := e.collect(len(awake), evEnd); err != nil {
-			return err
-		}
-
-		// Reschedule.
-		for _, v := range awake {
-			st := e.states[v]
-			if st.halted || st.err != nil {
-				continue
-			}
-			if st.nextWake <= clock {
-				return fmt.Errorf("sim: node %d scheduled wake %d not after round %d", v, st.nextWake, clock)
-			}
-			heap.Push(h, wakeItem{st.nextWake, v})
+			in := inboxOf(w)
+			*in = append(*in, Inbound{Port: portOf(g, w, v), Msg: om.msg})
+			m.MessagesDelivered++
 		}
 	}
-	return nil
 }
 
-// collect waits for exactly count events of the given kind; an evEnd
-// arriving during the send phase indicates the node errored before
-// delivering, which aborts the run.
-func (e *engine) collect(count int, want eventKind) error {
-	for i := 0; i < count; i++ {
-		ev := <-e.events
-		if ev.kind != want {
-			return fmt.Errorf("sim: node %d: protocol violation (program error: %v)",
-				ev.id, e.states[ev.id].err)
+// sortInbox orders a round's inbox by arrival port, identically in both
+// engines (part of the determinism contract).
+func sortInbox(in []Inbound) {
+	sort.Slice(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+}
+
+// wakeQueue schedules (round, node) wake-ups: one bucket of node
+// indices per distinct wake round, plus a min-heap over the distinct
+// rounds. Buckets are sorted at pop time, so the execution order within
+// a round is ascending node index regardless of insertion order.
+type wakeQueue struct {
+	buckets map[int64][]int
+	heap    []int64 // min-heap of distinct rounds with non-empty buckets
+	free    [][]int // recycled bucket storage
+}
+
+func newWakeQueue() *wakeQueue {
+	return &wakeQueue{buckets: make(map[int64][]int)}
+}
+
+func (q *wakeQueue) empty() bool { return len(q.heap) == 0 }
+
+// add schedules node v to wake in round r.
+func (q *wakeQueue) add(r int64, v int) {
+	b, ok := q.buckets[r]
+	if !ok {
+		if n := len(q.free); n > 0 {
+			b = q.free[n-1]
+			q.free = q.free[:n-1]
 		}
+		q.pushRound(r)
 	}
-	return nil
+	q.buckets[r] = append(b, v)
+}
+
+// pop removes and returns the earliest scheduled round and its nodes in
+// ascending index order. The slice is owned by the queue; return it
+// with recycle once processed.
+func (q *wakeQueue) pop() (int64, []int) {
+	r := q.popRound()
+	b := q.buckets[r]
+	delete(q.buckets, r)
+	sort.Ints(b)
+	return r, b
+}
+
+// recycle returns a bucket slice obtained from pop for reuse.
+func (q *wakeQueue) recycle(b []int) { q.free = append(q.free, b[:0]) }
+
+func (q *wakeQueue) pushRound(r int64) {
+	q.heap = append(q.heap, r)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.heap[p] <= q.heap[i] {
+			break
+		}
+		q.heap[p], q.heap[i] = q.heap[i], q.heap[p]
+		i = p
+	}
+}
+
+func (q *wakeQueue) popRound() int64 {
+	h := q.heap
+	r := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	q.heap = h[:last]
+	h = q.heap
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if rr < len(h) && h[rr] < h[small] {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return r
 }
 
 // portOf returns u's port leading to neighbor v.
@@ -554,12 +355,4 @@ func portOf(g *graph.Graph, u, v int) int {
 		}
 	}
 	return lo
-}
-
-// mix derives a per-node seed from the run seed (splitmix64 finalizer).
-func mix(seed, id int64) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
 }

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"awakemis/internal/graph"
+)
+
+// steppedEngine keeps all node state inline and drives awake nodes from
+// a wake-time bucket queue: no per-node goroutines, no channel
+// handshakes on the hot path. Each round's OnWake calls are fanned
+// across a worker pool in deterministic contiguous node-index shards;
+// because a step depends only on the node's own state, inbox, and
+// private RNG stream, results are bit-identical at every worker count.
+type steppedEngine struct {
+	workers int
+}
+
+// NewSteppedEngine returns the inline-state engine with the given
+// worker-pool size (0 means one worker per CPU).
+func NewSteppedEngine(workers int) Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &steppedEngine{workers: workers}
+}
+
+// Name implements Engine.
+func (e *steppedEngine) Name() string { return "stepped" }
+
+// Run implements Engine. Goroutine programs are adapted to step form.
+func (e *steppedEngine) Run(g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error) {
+	cfg, err := cfg.withDefaults(g.N())
+	if err != nil {
+		return nil, err
+	}
+	switch p := prog.(type) {
+	case StepProgram:
+		return e.run(g, p, cfg)
+	case Program:
+		ad := newGoroutineAdapter(p, &cfg)
+		defer ad.shutdown()
+		return e.run(g, ad.stepProgram(), cfg)
+	default:
+		return nil, fmt.Errorf("sim: stepped: unsupported program type %T", prog)
+	}
+}
+
+// snode is one node's inline state.
+type snode struct {
+	node  StepNode  // nil once the node halted
+	out   Outbox    // sends staged for round next
+	inbox []Inbound // accumulated by routing for the current round
+	next  int64     // wake round returned by the last OnWake
+	done  bool
+	err   error
+}
+
+// nodeFailure wraps a per-node error recovered from a step call.
+type nodeFailure struct {
+	node int
+	err  error
+}
+
+func (f *nodeFailure) attach(r any) {
+	switch v := r.(type) {
+	case error:
+		f.err = fmt.Errorf("program panic: %w", v)
+	default:
+		f.err = fmt.Errorf("program panic: %v", v)
+	}
+}
+
+func (e *steppedEngine) run(g *graph.Graph, sp StepProgram, cfg Config) (*Metrics, error) {
+	n := g.N()
+	m := &Metrics{AwakePerNode: make([]int64, n)}
+	nodes := make([]snode, n)
+	q := newWakeQueue()
+
+	// Construct every node machine and stage its round-0 sends.
+	for v := 0; v < n; v++ {
+		sn := &nodes[v]
+		sn.out.configure(v, g.Degree(v), &cfg)
+		env := &NodeEnv{
+			ID:        v,
+			Degree:    g.Degree(v),
+			N:         cfg.N,
+			Bandwidth: cfg.Bandwidth,
+			Rand:      newNodeRand(cfg.Seed, v),
+		}
+		if err := startNode(sn, sp, env); err != nil {
+			return m, fmt.Errorf("sim: node %d: %w", v, err)
+		}
+		q.add(0, v) // all nodes start awake in round 0
+	}
+
+	stamp := make([]int64, n)
+	for !q.empty() {
+		clock, awake := q.pop()
+		if clock > cfg.MaxRounds {
+			return m, fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
+		}
+		m.ExecutedRounds++
+		if clock+1 > m.Rounds {
+			m.Rounds = clock + 1
+		}
+		for _, v := range awake {
+			m.noteAwake(v, clock, cfg.Tracer)
+		}
+
+		// Transmit the sends staged for this round (decided at each
+		// node's previous awake round) between mutually awake nodes.
+		routeRound(g, m, cfg.Tracer, clock, awake, stamp,
+			func(v int) []outMsg { return nodes[v].out.msgs },
+			func(v int) *[]Inbound { return &nodes[v].inbox })
+
+		// Fan the step calls across the worker pool in contiguous
+		// node-index shards.
+		e.stepAll(nodes, awake, clock)
+
+		// Surface the lowest-indexed failure deterministically.
+		for _, v := range awake {
+			if err := nodes[v].err; err != nil {
+				return m, fmt.Errorf("sim: node %d: %w", v, err)
+			}
+		}
+
+		// Reschedule.
+		for _, v := range awake {
+			sn := &nodes[v]
+			if sn.done {
+				sn.node = nil // release the machine; staged sends are dropped
+				continue
+			}
+			if sn.next <= clock {
+				return m, fmt.Errorf("sim: node %d scheduled wake %d not after round %d", v, sn.next, clock)
+			}
+			q.add(sn.next, v)
+		}
+		q.recycle(awake)
+	}
+	return m, nil
+}
+
+// stepAll runs OnWake for every awake node, splitting the (sorted)
+// awake list into at most e.workers contiguous shards. Shard boundaries
+// affect scheduling only, never results: a step touches nothing but its
+// own node's state.
+func (e *steppedEngine) stepAll(nodes []snode, awake []int, clock int64) {
+	const minParallel = 128
+	if e.workers == 1 || len(awake) < minParallel {
+		stepRange(nodes, awake, clock)
+		return
+	}
+	shards := e.workers
+	chunk := (len(awake) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(awake); lo += chunk {
+		hi := lo + chunk
+		if hi > len(awake) {
+			hi = len(awake)
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			stepRange(nodes, part, clock)
+		}(awake[lo:hi])
+	}
+	wg.Wait()
+}
+
+func stepRange(nodes []snode, awake []int, clock int64) {
+	for _, v := range awake {
+		stepNode(&nodes[v], clock)
+	}
+}
+
+func stepNode(sn *snode, clock int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*nodeFailure); ok {
+				sn.err = f.err
+			} else {
+				f := &nodeFailure{}
+				f.attach(r)
+				sn.err = f.err
+			}
+		}
+	}()
+	// Hand the inbox over and start a fresh slice next round. Buffer
+	// reuse here is forbidden even though StepNode declares the inbox
+	// borrowed: goroutine programs running through the adapter may
+	// legitimately retain their Deliver() result past the round, and
+	// they receive this very slice.
+	in := sn.inbox
+	sn.inbox = nil
+	sortInbox(in)
+	sn.out.reset()
+	sn.next, sn.done = sn.node.OnWake(clock, in, &sn.out)
+}
+
+func startNode(sn *snode, sp StepProgram, env *NodeEnv) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*nodeFailure); ok {
+				err = f.err
+			} else {
+				f := &nodeFailure{}
+				f.attach(r)
+				err = f.err
+			}
+		}
+	}()
+	sn.node = sp(env)
+	sn.node.Start(&sn.out)
+	return nil
+}

@@ -75,6 +75,79 @@ func RunSub(ctx *sim.Ctx, base int64, id, idBound int, ports []int) int {
 	return int(color)
 }
 
+// Program returns the standalone per-node program in goroutine form.
+func Program(res *Result, ids []int, idBound int) sim.Program {
+	return func(ctx *sim.Ctx) {
+		ports := make([]int, ctx.Degree())
+		for i := range ports {
+			ports[i] = i
+		}
+		res.Color[ctx.Node()] = RunSub(ctx, 1, ids[ctx.Node()], idBound, ports)
+	}
+}
+
+// stepNode is the state-machine form of Program: the node attends the
+// rounds of its communication set, collecting neighbor colors until its
+// own round, where it takes the smallest free color; every attended
+// round's broadcast carries its current color (-1 while undecided).
+// Both forms run bit-identically.
+type stepNode struct {
+	res    *Result
+	node   int
+	id     int
+	color  int32
+	taken  map[int32]bool
+	rounds []int
+	idx    int
+}
+
+// StepProgram returns the standalone per-node program in step form.
+func StepProgram(res *Result, ids []int, idBound int) sim.StepProgram {
+	return func(env *sim.NodeEnv) sim.StepNode {
+		return &stepNode{
+			res:    res,
+			node:   env.ID,
+			id:     ids[env.ID],
+			color:  -1,
+			taken:  map[int32]bool{},
+			rounds: vtree.AwakeRounds(ids[env.ID], idBound),
+		}
+	}
+}
+
+func (n *stepNode) Start(out *sim.Outbox) {
+	// Round 0 sends nothing; the first communication-set round is staged
+	// from OnWake(0).
+}
+
+func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (int64, bool) {
+	if round > 0 {
+		r := n.rounds[n.idx]
+		if n.color < 0 {
+			for _, m := range inbox {
+				if cm, ok := m.Msg.(colorMsg); ok && cm.Color >= 0 {
+					n.taken[cm.Color] = true
+				}
+			}
+		}
+		if r == n.id && n.color < 0 {
+			for c := int32(0); ; c++ {
+				if !n.taken[c] {
+					n.color = c
+					break
+				}
+			}
+		}
+		n.idx++
+		if n.idx == len(n.rounds) {
+			n.res.Color[n.node] = int(n.color)
+			return 0, true
+		}
+	}
+	out.Broadcast(colorMsg{Color: n.color})
+	return int64(n.rounds[n.idx]), false // base 1: round r is sim round r
+}
+
 // Run executes the standalone coloring on g with unique IDs in
 // [1, idBound]; the algorithm occupies rounds 1..idBound after the
 // model's initial all-awake round 0.
@@ -83,14 +156,7 @@ func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.
 		return nil, nil, err
 	}
 	res := &Result{Color: make([]int, g.N())}
-	prog := func(ctx *sim.Ctx) {
-		ports := make([]int, ctx.Degree())
-		for i := range ports {
-			ports[i] = i
-		}
-		res.Color[ctx.Node()] = RunSub(ctx, 1, ids[ctx.Node()], idBound, ports)
-	}
-	m, err := sim.Run(g, prog, cfg)
+	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 

@@ -61,35 +61,33 @@ type Result struct {
 	MatchedWith []int
 }
 
-// Run executes the matching on g. Each node knows the IDs of its
-// incident edges (both endpoints deterministically derive an edge's ID,
-// e.g. during a hello round; the harness passes the assignment in).
-func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
-	if err := ids.Check(g, bound); err != nil {
-		return nil, nil, err
-	}
-	res := &Result{MatchedWith: make([]int, g.N())}
-	for v := range res.MatchedWith {
-		res.MatchedWith[v] = -1
-	}
-	prog := func(ctx *sim.Ctx) {
-		v := ctx.Node()
-		type slot struct {
-			round int
-			port  int
-		}
-		slots := make([]slot, 0, ctx.Degree())
-		for p := 0; p < ctx.Degree(); p++ {
-			w := g.Neighbor(v, p)
-			key := [2]int{v, w}
-			if w < v {
-				key = [2]int{w, v}
-			}
-			slots = append(slots, slot{ids[key], p})
-		}
-		sort.Slice(slots, func(i, j int) bool { return slots[i].round < slots[j].round })
+// slot schedules one incident edge: processed in sim round `round`
+// through local port `port`.
+type slot struct {
+	round int
+	port  int
+}
 
-		for _, s := range slots {
+// slotsOf returns node v's incident-edge schedule, ascending by round.
+func slotsOf(g *graph.Graph, ids EdgeIDs, v int) []slot {
+	slots := make([]slot, 0, g.Degree(v))
+	for p := 0; p < g.Degree(v); p++ {
+		w := g.Neighbor(v, p)
+		key := [2]int{v, w}
+		if w < v {
+			key = [2]int{w, v}
+		}
+		slots = append(slots, slot{ids[key], p})
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].round < slots[j].round })
+	return slots
+}
+
+// Program returns the per-node program in goroutine form.
+func Program(res *Result, g *graph.Graph, ids EdgeIDs) sim.Program {
+	return func(ctx *sim.Ctx) {
+		v := ctx.Node()
+		for _, s := range slotsOf(g, ids, v) {
 			target := int64(s.round) // edge id r processed in sim round r (round 0 is the initial model round)
 			if target > ctx.Round() {
 				ctx.SleepUntil(target)
@@ -104,7 +102,63 @@ func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.
 			}
 		}
 	}
-	m, err := sim.Run(g, prog, cfg)
+}
+
+// stepNode is the state-machine form of Program: the node wakes once
+// per incident edge in edge-ID order, proposing on that edge's port,
+// and halts as soon as a counter-proposal arrives (both endpoints free
+// means both propose, so hearing one on the slot's port means matched).
+// Both forms run bit-identically.
+type stepNode struct {
+	res   *Result
+	g     *graph.Graph
+	node  int
+	slots []slot
+	idx   int
+}
+
+// StepProgram returns the per-node program in step form.
+func StepProgram(res *Result, g *graph.Graph, ids EdgeIDs) sim.StepProgram {
+	return func(env *sim.NodeEnv) sim.StepNode {
+		return &stepNode{res: res, g: g, node: env.ID, slots: slotsOf(g, ids, env.ID)}
+	}
+}
+
+func (n *stepNode) Start(out *sim.Outbox) {
+	// Round 0 sends nothing: edge IDs start at 1.
+}
+
+func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (int64, bool) {
+	if round > 0 {
+		s := n.slots[n.idx]
+		for _, m := range inbox {
+			if _, ok := m.Msg.(proposeMsg); ok && m.Port == s.port {
+				n.res.MatchedWith[n.node] = n.g.Neighbor(n.node, s.port)
+				return 0, true // matched: sleep forever, silence skips later edges
+			}
+		}
+		n.idx++
+	}
+	if n.idx == len(n.slots) {
+		return 0, true
+	}
+	next := n.slots[n.idx]
+	out.Send(next.port, proposeMsg{})
+	return int64(next.round), false
+}
+
+// Run executes the matching on g. Each node knows the IDs of its
+// incident edges (both endpoints deterministically derive an edge's ID,
+// e.g. during a hello round; the harness passes the assignment in).
+func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	if err := ids.Check(g, bound); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{MatchedWith: make([]int, g.N())}
+	for v := range res.MatchedWith {
+		res.MatchedWith[v] = -1
+	}
+	m, err := sim.RunStep(g, StepProgram(res, g, ids), cfg)
 	return res, m, err
 }
 

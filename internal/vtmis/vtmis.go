@@ -73,6 +73,77 @@ type Result struct {
 	InMIS []bool
 }
 
+// Program returns the standalone per-node program in goroutine form
+// (all nodes participate on all ports, rounds 1..idBound after the
+// model's initial all-awake round 0).
+func Program(res *Result, ids []int, idBound int) sim.Program {
+	return func(ctx *sim.Ctx) {
+		state := misproto.Undecided
+		ports := make([]int, ctx.Degree())
+		for i := range ports {
+			ports[i] = i
+		}
+		RunSub(ctx, 1, ids[ctx.Node()], idBound, &state, ports)
+		res.InMIS[ctx.Node()] = state == misproto.InMIS
+	}
+}
+
+// stepNode is the state-machine form of Program: the node attends
+// exactly the rounds of its communication set S_id([1,I]) ∪ {id}, and
+// each attended round's broadcast is staged at the previous one (the
+// state it announces can only have changed during attended rounds).
+// Both forms run bit-identically.
+type stepNode struct {
+	res    *Result
+	node   int
+	id     int
+	state  misproto.State
+	rounds []int // vtree.AwakeRounds(id, idBound); sim round r-1+base, base=1
+	idx    int
+}
+
+// StepProgram returns the standalone per-node program in step form.
+func StepProgram(res *Result, ids []int, idBound int) sim.StepProgram {
+	return func(env *sim.NodeEnv) sim.StepNode {
+		return &stepNode{
+			res:    res,
+			node:   env.ID,
+			id:     ids[env.ID],
+			rounds: vtree.AwakeRounds(ids[env.ID], idBound),
+		}
+	}
+}
+
+func (n *stepNode) Start(out *sim.Outbox) {
+	// Round 0 (the model's initial all-awake round) sends nothing; the
+	// first communication-set round is staged from OnWake(0).
+}
+
+func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (int64, bool) {
+	if round > 0 {
+		// An attended communication round r = rounds[idx].
+		r := n.rounds[n.idx]
+		if n.state == misproto.Undecided {
+			for _, m := range inbox {
+				if sm, ok := m.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+					n.state = misproto.NotInMIS
+					break
+				}
+			}
+		}
+		if r == n.id && n.state == misproto.Undecided {
+			n.state = misproto.InMIS
+		}
+		n.idx++
+		if n.state == misproto.NotInMIS || n.idx == len(n.rounds) {
+			n.res.InMIS[n.node] = n.state == misproto.InMIS
+			return 0, true
+		}
+	}
+	out.Broadcast(misproto.StateMsg{State: n.state})
+	return int64(n.rounds[n.idx]), false // base 1: round r is sim round r
+}
+
 // Run executes standalone VT-MIS on g with the given unique IDs in
 // [1, idBound]. All nodes participate on all ports. Round 0 is the
 // model's initial all-awake round; the algorithm occupies rounds
@@ -82,16 +153,7 @@ func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.
 		return nil, nil, err
 	}
 	res := &Result{InMIS: make([]bool, g.N())}
-	prog := func(ctx *sim.Ctx) {
-		state := misproto.Undecided
-		ports := make([]int, ctx.Degree())
-		for i := range ports {
-			ports[i] = i
-		}
-		RunSub(ctx, 1, ids[ctx.Node()], idBound, &state, ports)
-		res.InMIS[ctx.Node()] = state == misproto.InMIS
-	}
-	m, err := sim.Run(g, prog, cfg)
+	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 
