@@ -9,33 +9,36 @@
 // O(log log n) — together with the full stack it is built on: a
 // SLEEPING-CONGEST network simulator, the virtual-binary-tree
 // coordination technique, labeled distance trees, the auxiliary
-// algorithms VT-MIS and LDT-MIS, and the classical baselines the paper
-// compares against.
+// algorithms VT-MIS and LDT-MIS, the classical baselines the paper
+// compares against, and the §7 extensions to (Δ+1)-coloring and
+// maximal matching.
 //
-// Quick start:
+// Every problem is a registered Task; runs produce a machine-readable
+// Report, and a Runner executes batches of Specs concurrently with
+// deterministic seed derivation. Quick start:
 //
 //	g := awakemis.GNP(1024, 0.004, 1)
-//	res, err := awakemis.Run(g, awakemis.AwakeMIS, awakemis.Options{Seed: 1})
-//	// res.InMIS is a valid MIS; res.Metrics.MaxAwake is O(log log n).
+//	rep, err := awakemis.RunTask(g, "awake-mis", awakemis.Options{Seed: 1})
+//	// rep.Output.InMIS is a verified MIS; rep.Metrics.MaxAwake is
+//	// O(log log n); rep.JSON() is the wire form.
+//
+// The classic entry points remain: Run for MIS tasks (typed results),
+// and the deprecated RunColoring / RunMatching wrappers.
 package awakemis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"awakemis/internal/core"
-	"awakemis/internal/ldtmis"
-	"awakemis/internal/luby"
-	"awakemis/internal/naive"
+	"awakemis/internal/rng"
 	"awakemis/internal/sim"
 	"awakemis/internal/trace"
-	"awakemis/internal/verify"
-	"awakemis/internal/vtcolor"
-	"awakemis/internal/vtmatch"
-	"awakemis/internal/vtmis"
 )
 
-// Algorithm selects a distributed MIS algorithm.
+// Algorithm selects a distributed MIS algorithm (a Task name; Run
+// accepts exactly the tasks that produce an MIS).
 type Algorithm string
 
 const (
@@ -58,7 +61,17 @@ const (
 	LDTMIS Algorithm = "ldt-mis"
 )
 
-// Algorithms lists every available algorithm.
+// Task names for the §7 extensions (use RunTask, or the deprecated
+// typed wrappers RunColoring and RunMatching).
+const (
+	// TaskColoring is greedy (Δ+1)-coloring in O(log n) awake rounds.
+	TaskColoring = "coloring"
+	// TaskMatching is maximal matching with early-exit awake complexity.
+	TaskMatching = "matching"
+)
+
+// Algorithms lists every MIS algorithm (the tasks Run accepts). See
+// Tasks for the full registry including coloring and matching.
 func Algorithms() []Algorithm {
 	return []Algorithm{AwakeMIS, AwakeMISRound, Luby, NaiveGreedy, VTMIS, LDTMIS}
 }
@@ -79,36 +92,42 @@ const (
 // Engines lists the available engines.
 func Engines() []Engine { return []Engine{EngineStepped, EngineLockstep} }
 
-// Options configures a run. The zero value is usable.
+// Options configures a run. The zero value is usable, and the struct
+// marshals to/from JSON for batch spec files.
 type Options struct {
 	// Seed drives all randomness; equal seeds replay identical runs on
-	// every engine at every worker count.
-	Seed int64
+	// every engine at every worker count. Every derived stream (per-node
+	// randomness, ID permutations, edge orders) comes from this seed
+	// through the centralized splitmix64 deriver (see DeriveSeed).
+	Seed int64 `json:"seed,omitempty"`
 	// Engine selects the runtime engine ("" means EngineStepped).
-	Engine Engine
+	Engine Engine `json:"engine,omitempty"`
 	// Workers caps the stepped engine's worker pool (0 means one per
 	// CPU). Worker count never changes results, only wall-clock time.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// N is the common polynomial upper bound on the network size known
 	// to nodes (the paper's N). Zero means the exact node count.
-	N int
+	N int `json:"n,omitempty"`
 	// Bandwidth overrides the CONGEST per-message bit budget
 	// (default 16·⌈log₂ N⌉ + 16).
-	Bandwidth int
+	Bandwidth int `json:"bandwidth,omitempty"`
 	// Strict makes any message exceeding Bandwidth a run error.
-	Strict bool
+	Strict bool `json:"strict,omitempty"`
 	// MaxRounds aborts runaway schedules (default 2⁴⁰ rounds).
-	MaxRounds int64
-	// Params tunes Awake-MIS constants (ignored by other algorithms);
+	MaxRounds int64 `json:"max_rounds,omitempty"`
+	// Params tunes Awake-MIS constants (ignored by other tasks);
 	// zero fields take paper-faithful defaults.
-	Params core.Params
+	Params core.Params `json:"params,omitempty"`
 	// Trace records per-node awake timelines and message-loss counters,
-	// exposed through Result.Timeline and Result.TraceSummary.
-	Trace bool
+	// exposed through Report.Timeline and Report.TraceSummary.
+	Trace bool `json:"trace,omitempty"`
 }
 
-func (o Options) simConfig() (sim.Config, error) {
-	eng, err := sim.EngineByName(string(o.Engine), o.Workers)
+// simConfig resolves the options into an engine configuration. workers
+// overrides Options.Workers when the caller manages a shared budget
+// (Runner.RunBatch); pass o.Workers otherwise.
+func (o Options) simConfig(workers int) (sim.Config, error) {
+	eng, err := sim.EngineByName(string(o.Engine), workers)
 	if err != nil {
 		return sim.Config{}, fmt.Errorf("awakemis: %w", err)
 	}
@@ -125,20 +144,21 @@ func (o Options) simConfig() (sim.Config, error) {
 // Metrics reports the complexity measures of a run (§1.3–1.4).
 type Metrics struct {
 	// Rounds is the round complexity (sleeping rounds included).
-	Rounds int64
+	Rounds int64 `json:"rounds"`
 	// ExecutedRounds is the number of rounds with at least one awake node.
-	ExecutedRounds int64
+	ExecutedRounds int64 `json:"executed_rounds"`
 	// MaxAwake is the worst-case awake complexity max_v A_v.
-	MaxAwake int64
+	MaxAwake int64 `json:"max_awake"`
 	// AvgAwake is the node-averaged awake complexity.
-	AvgAwake float64
-	// AwakePerNode is A_v for every node.
-	AwakePerNode []int64
+	AvgAwake float64 `json:"avg_awake"`
+	// AwakePerNode is A_v for every node (elided from JSON; reports stay
+	// compact at million-node scale).
+	AwakePerNode []int64 `json:"-"`
 	// MessagesSent and BitsSent measure communication volume.
-	MessagesSent int64
-	BitsSent     int64
+	MessagesSent int64 `json:"messages_sent"`
+	BitsSent     int64 `json:"bits_sent"`
 	// MaxMessageBits is the largest message observed.
-	MaxMessageBits int
+	MaxMessageBits int `json:"max_message_bits"`
 }
 
 func fromSim(m *sim.Metrics) Metrics {
@@ -154,7 +174,8 @@ func fromSim(m *sim.Metrics) Metrics {
 	}
 }
 
-// Result is an algorithm's output.
+// Result is an MIS algorithm's output (the typed view Run returns; the
+// registry-level envelope is Report).
 type Result struct {
 	// InMIS[v] reports whether node v joined the MIS.
 	InMIS []bool
@@ -181,88 +202,32 @@ func (r *Result) TraceSummary() string {
 	return r.trace.Summary()
 }
 
-// Run executes the selected algorithm on g and returns its MIS and
-// metrics. The output is always verified to be a maximal independent
-// set before returning (a violation — possible only if a
-// high-probability event failed — is reported as an error).
+// Run executes the selected MIS algorithm on g and returns its MIS and
+// metrics; it dispatches through the task registry (RunTask is the
+// registry-level equivalent and also covers coloring and matching).
+// The output is always verified to be a maximal independent set before
+// returning.
 func Run(g *Graph, algo Algorithm, opt Options) (*Result, error) {
-	cfg, err := opt.simConfig()
+	return RunContext(context.Background(), g, algo, opt)
+}
+
+// RunContext is Run under a context: cancellation or a missed deadline
+// aborts the simulation at the next round boundary.
+func RunContext(ctx context.Context, g *Graph, algo Algorithm, opt Options) (*Result, error) {
+	// Reject non-MIS tasks before spending a simulation on them.
+	if t, ok := TaskByName(string(algo)); ok && t.Kind != "mis" {
+		return nil, fmt.Errorf("awakemis: task %q does not compute an MIS; use RunTask", algo)
+	}
+	rep, err := RunTaskContext(ctx, g, string(algo), opt)
 	if err != nil {
 		return nil, err
 	}
-	var collector *trace.Collector
-	if opt.Trace {
-		collector = trace.NewCollector()
-		cfg.Tracer = collector
-	}
-	n := g.N()
-	var in []bool
-	var m *sim.Metrics
-
-	switch algo {
-	case AwakeMIS, AwakeMISRound:
-		params := opt.Params
-		if algo == AwakeMISRound {
-			params.Variant = ldtmis.VariantRound
-		}
-		var res *core.Result
-		res, m, err = core.Run(g.internal(), params, cfg)
-		if err == nil {
-			in = res.InMIS
-		}
-	case Luby:
-		var res *luby.Result
-		res, m, err = luby.Run(g.internal(), cfg)
-		if err == nil {
-			in = res.InMIS
-		}
-	case NaiveGreedy:
-		ids := permIDs(n, opt.Seed)
-		var res *naive.Result
-		res, m, err = naive.Run(g.internal(), ids, n, cfg)
-		if err == nil {
-			in = res.InMIS
-		}
-	case VTMIS:
-		ids := permIDs(n, opt.Seed)
-		var res *vtmis.Result
-		res, m, err = vtmis.Run(g.internal(), ids, n, cfg)
-		if err == nil {
-			in = res.InMIS
-		}
-	case LDTMIS:
-		ids := bigIDs(n, opt.Seed)
-		np := 1
-		for _, c := range g.Components() {
-			if len(c) > np {
-				np = len(c)
-			}
-		}
-		if cfg.Bandwidth == 0 {
-			// Lemma 11 allows O(log I)-bit messages; the IDs come from a
-			// 2⁴⁰ space, so the CONGEST budget scales with log I.
-			cfg.Bandwidth = sim.DefaultBandwidth(1 << 40)
-		}
-		var res *ldtmis.Result
-		res, m, err = ldtmis.Run(g.internal(), ids, np, ldtmis.VariantAwake, cfg)
-		if err == nil {
-			in = res.InMIS
-		}
-	default:
-		return nil, fmt.Errorf("awakemis: unknown algorithm %q", algo)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("awakemis: %s: %w", algo, err)
-	}
-	if verr := verify.CheckMIS(g.internal(), in); verr != nil {
-		return nil, fmt.Errorf("awakemis: %s produced an invalid MIS (failed w.h.p. event): %w", algo, verr)
-	}
-	return &Result{InMIS: in, Metrics: fromSim(m), trace: collector}, nil
+	return &Result{InMIS: rep.Output.InMIS, Metrics: rep.Metrics, trace: rep.trace}, nil
 }
 
 // Verify checks that inMIS is a maximal independent set of g.
 func Verify(g *Graph, inMIS []bool) error {
-	return verify.CheckMIS(g.internal(), inMIS)
+	return verifyMIS(g, Output{InMIS: inMIS})
 }
 
 // ColoringResult is the output of RunColoring.
@@ -276,22 +241,15 @@ type ColoringResult struct {
 // RunColoring computes a greedy (Δ+1)-coloring in the sleeping model
 // with O(log n) awake complexity — the §7 extension of the paper's
 // virtual-binary-tree technique to another symmetry-breaking problem.
-// The output is verified to be a proper coloring with every node's
-// color at most its degree.
+//
+// Deprecated: RunColoring is a thin wrapper kept for compatibility;
+// use RunTask(g, TaskColoring, opt) and read Report.Output.Color.
 func RunColoring(g *Graph, opt Options) (*ColoringResult, error) {
-	cfg, err := opt.simConfig()
+	rep, err := RunTask(g, TaskColoring, opt)
 	if err != nil {
 		return nil, err
 	}
-	ids := permIDs(g.N(), opt.Seed)
-	res, m, err := vtcolor.Run(g.internal(), ids, g.N(), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("awakemis: coloring: %w", err)
-	}
-	if verr := verify.CheckColoring(g.internal(), res.Color); verr != nil {
-		return nil, fmt.Errorf("awakemis: coloring invalid: %w", verr)
-	}
-	return &ColoringResult{Color: res.Color, Metrics: fromSim(m)}, nil
+	return &ColoringResult{Color: rep.Output.Color, Metrics: rep.Metrics}, nil
 }
 
 // MatchingResult is the output of RunMatching.
@@ -303,32 +261,32 @@ type MatchingResult struct {
 }
 
 // RunMatching computes a maximal matching in the sleeping model via
-// greedy processing of a random edge order (§7 extension). Each node is
-// awake at most once per incident edge and stops as soon as it matches;
-// the output is verified maximal before returning.
+// greedy processing of a random edge order (§7 extension).
+//
+// Deprecated: RunMatching is a thin wrapper kept for compatibility;
+// use RunTask(g, TaskMatching, opt) and read Report.Output.MatchedWith.
 func RunMatching(g *Graph, opt Options) (*MatchingResult, error) {
-	cfg, err := opt.simConfig()
+	rep, err := RunTask(g, TaskMatching, opt)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ 0x3f7))
-	perm := rng.Perm(g.M())
-	ids := vtmatch.EdgeIDs{}
-	for i, e := range g.internal().Edges() {
-		ids[e] = perm[i] + 1
-	}
-	res, m, err := vtmatch.Run(g.internal(), ids, g.M(), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("awakemis: matching: %w", err)
-	}
-	if verr := verify.CheckMatching(g.internal(), res.MatchedWith); verr != nil {
-		return nil, fmt.Errorf("awakemis: matching invalid: %w", verr)
-	}
-	return &MatchingResult{MatchedWith: res.MatchedWith, Metrics: fromSim(m)}, nil
+	return &MatchingResult{MatchedWith: rep.Output.MatchedWith, Metrics: rep.Metrics}, nil
 }
 
+// DeriveSeed derives an independent stream seed from a root seed: the
+// centralized splitmix64 deriver every ID assignment, edge order, and
+// batch-spec seed goes through (replacing the historical seed^const
+// XORs, whose nearby constants produced correlated streams). Equal
+// inputs give equal outputs, so derived seeds are as replayable as the
+// root seed.
+func DeriveSeed(seed int64, label string, n int64) int64 {
+	return rng.Derive(seed, label, n)
+}
+
+// permIDs derives the random ID permutation of [1, n] used by the
+// permutation-ID tasks (naive-greedy, vt-mis, coloring).
 func permIDs(n int, seed int64) []int {
-	perm := rand.New(rand.NewSource(seed ^ 0x1d5)).Perm(n)
+	perm := rand.New(rand.NewSource(rng.Derive(seed, "perm-ids", 0))).Perm(n)
 	ids := make([]int, n)
 	for v, p := range perm {
 		ids[v] = p + 1
@@ -336,19 +294,8 @@ func permIDs(n int, seed int64) []int {
 	return ids
 }
 
+// bigIDs derives n distinct IDs from the 2⁴⁰ space (Lemma 11's I) via
+// the collision-free Feistel generator — no rejection table.
 func bigIDs(n int, seed int64) []int64 {
-	rng := rand.New(rand.NewSource(seed ^ 0x2e6))
-	seen := make(map[int64]bool, n)
-	ids := make([]int64, n)
-	for v := range ids {
-		for {
-			id := rng.Int63n(1<<40) + 1
-			if !seen[id] {
-				seen[id] = true
-				ids[v] = id
-				break
-			}
-		}
-	}
-	return ids
+	return rng.IDs40(n, rng.Derive(seed, "big-ids", 0))
 }

@@ -1,19 +1,30 @@
-// Command awakemis runs a distributed MIS algorithm on a generated
-// graph in the SLEEPING-CONGEST simulator and reports the complexity
-// measures of the run.
+// Command awakemis runs any registered task — the paper's MIS
+// algorithms, (Δ+1)-coloring, maximal matching — on a generated graph
+// in the SLEEPING-CONGEST simulator and reports the complexity
+// measures of the run, as text or as a machine-readable JSON Report.
 //
 // Usage:
 //
 //	awakemis -algo awake-mis -graph gnp -n 1024 -p 0.004 -seed 1
-//	awakemis -algo luby -graph cycle -n 4096
+//	awakemis -algo coloring -json
 //	awakemis -algo luby -n 1000000 -engine stepped -workers 8
+//	awakemis -batch specs.json -parallel 4 > reports.json
 //	awakemis -list
+//
+// The -batch file is a JSON array of specs, each {name, task, graph,
+// options}; see the Spec type. Batch output is a JSON array of
+// Reports in spec order; progress goes to stderr. Ctrl-C cancels
+// in-flight simulations at their next round boundary.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"awakemis"
@@ -21,8 +32,8 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "awake-mis", "algorithm: "+algoList())
-		family   = flag.String("graph", "gnp", "graph family: gnp|cycle|path|complete|star|grid|tree|regular|geometric|powerlaw")
+		algo     = flag.String("algo", "awake-mis", "task to run (see -list)")
+		family   = flag.String("graph", "gnp", "graph family: "+strings.Join(awakemis.Families(), "|"))
 		input    = flag.String("input", "", "read the graph from an edge-list file instead of generating")
 		n        = flag.Int("n", 1024, "number of nodes")
 		p        = flag.Float64("p", 0, "edge probability for gnp (0 = 4/n)")
@@ -30,17 +41,30 @@ func main() {
 		r        = flag.Float64("r", 0.1, "radius for geometric")
 		seed     = flag.Int64("seed", 1, "random seed")
 		engine   = flag.String("engine", "stepped", "simulation engine: stepped|lockstep (results are identical)")
-		workers  = flag.Int("workers", 0, "stepped-engine worker pool size (0 = one per CPU)")
+		workers  = flag.Int("workers", 0, "stepped-engine worker pool size; with -batch, the total budget divided among in-flight specs (0 = one per CPU)")
 		strict   = flag.Bool("strict", true, "enforce the CONGEST bandwidth bound")
-		timeline = flag.Int("timeline", 0, "show an awake timeline of the k busiest nodes")
-		list     = flag.Bool("list", false, "list algorithms and exit")
+		timeline = flag.Int("timeline", 0, "show an awake timeline of the k busiest nodes (text mode)")
+		asJSON   = flag.Bool("json", false, "emit the run's Report as JSON")
+		batch    = flag.String("batch", "", "run a JSON file of specs through the batch Runner")
+		parallel = flag.Int("parallel", 0, "batch: specs in flight at once (0 = one per CPU)")
+		list     = flag.Bool("list", false, "list tasks and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, a := range awakemis.Algorithms() {
-			fmt.Println(a)
+		for _, t := range awakemis.Tasks() {
+			fmt.Printf("%-16s %s\n", t.Name, t.Summary)
+			fmt.Printf("%-16s   ids: %s\n", "", t.IDScheme)
 		}
+		return
+	}
+
+	// Ctrl-C cancels in-flight simulations at their next round boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *batch != "" {
+		runBatch(ctx, *batch, *parallel, *workers, *seed)
 		return
 	}
 
@@ -49,8 +73,7 @@ func main() {
 	if *input != "" {
 		f, ferr := os.Open(*input)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "error:", ferr)
-			os.Exit(1)
+			fail(ferr)
 		}
 		g, err = awakemis.ReadGraph(f)
 		f.Close()
@@ -58,43 +81,114 @@ func main() {
 		g, err = awakemis.Generate(*family, awakemis.GenOptions{N: *n, P: *p, Degree: *d, Radius: *r, Seed: *seed})
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	res, err := awakemis.Run(g, awakemis.Algorithm(*algo), awakemis.Options{
+	rep, err := awakemis.RunTaskContext(ctx, g, *algo, awakemis.Options{
 		Seed: *seed, Strict: *strict, Trace: *timeline > 0,
 		Engine: awakemis.Engine(*engine), Workers: *workers,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	misSize := 0
-	for _, in := range res.InMIS {
-		if in {
-			misSize++
+
+	if *asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			fail(err)
 		}
+		fmt.Println(string(data))
+		return
 	}
-	m := res.Metrics
+
+	m := rep.Metrics
 	fmt.Printf("graph            %v\n", g)
-	fmt.Printf("algorithm        %s\n", *algo)
-	fmt.Printf("MIS size         %d\n", misSize)
+	fmt.Printf("task             %s\n", rep.Task)
+	fmt.Printf("%s\n", outputLine(rep))
 	fmt.Printf("max awake        %d    <- worst-case awake complexity\n", m.MaxAwake)
 	fmt.Printf("avg awake        %.2f\n", m.AvgAwake)
 	fmt.Printf("rounds           %d    (executed: %d; the rest everyone slept through)\n", m.Rounds, m.ExecutedRounds)
 	fmt.Printf("messages         %d    (%d bits, max %d bits/message)\n", m.MessagesSent, m.BitsSent, m.MaxMessageBits)
+	// Wall time goes to stderr: stdout stays byte-identical across
+	// engines and worker counts (the determinism contract verify flows
+	// diff it).
+	fmt.Fprintf(os.Stderr, "(%.1fms on the %s engine)\n", rep.WallMS, rep.Engine)
 	if *timeline > 0 {
 		fmt.Println()
-		fmt.Println(res.TraceSummary())
+		fmt.Println(rep.TraceSummary())
 		fmt.Printf("awake timeline of the %d busiest nodes:\n", *timeline)
-		fmt.Print(res.Timeline(*timeline, 100))
+		fmt.Print(rep.Timeline(*timeline, 100))
 	}
 }
 
-func algoList() string {
-	names := make([]string, 0, len(awakemis.Algorithms()))
-	for _, a := range awakemis.Algorithms() {
-		names = append(names, string(a))
+// outputLine summarizes the task's output for the text report.
+func outputLine(rep *awakemis.Report) string {
+	switch out := rep.Output; {
+	case out.InMIS != nil:
+		size := 0
+		for _, in := range out.InMIS {
+			if in {
+				size++
+			}
+		}
+		return fmt.Sprintf("MIS size         %d", size)
+	case out.Color != nil:
+		colors := map[int]bool{}
+		for _, c := range out.Color {
+			colors[c] = true
+		}
+		return fmt.Sprintf("colors used      %d (Δ+1 bound: %d)", len(colors), rep.Graph.MaxDegree+1)
+	case out.MatchedWith != nil:
+		pairs := 0
+		for v, w := range out.MatchedWith {
+			if w > v {
+				pairs++
+			}
+		}
+		return fmt.Sprintf("matched pairs    %d", pairs)
+	default:
+		return "output           (empty)"
 	}
-	return strings.Join(names, "|")
+}
+
+// runBatch executes a JSON spec file through the batch Runner:
+// reports to stdout (a JSON array, in spec order), progress to stderr.
+func runBatch(ctx context.Context, path string, parallel, workers int, seed int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var specs []awakemis.Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	runner := &awakemis.Runner{
+		Parallel: parallel,
+		Workers:  workers,
+		Seed:     seed,
+		OnProgress: func(p awakemis.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-24s %s\n", p.Done, p.Total, p.Spec.Name+" "+p.Spec.Task, status)
+		},
+	}
+	reports, err := runner.RunBatch(ctx, specs)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	out, jerr := json.MarshalIndent(reports, "", "  ")
+	if jerr != nil {
+		fail(jerr)
+	}
+	fmt.Println(string(out))
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

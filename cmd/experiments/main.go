@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,12 +35,18 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, err := sim.EngineByName(*engine, *workers)
-	if err != nil {
+	if _, err := sim.EngineByName(*engine, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opts := expt.Options{Seed: *seed, Quick: *quick, Trials: *trials, Engine: eng}
+	// Ctrl-C cancels the suite: every simulation aborts at its next
+	// round boundary instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := expt.Options{
+		Seed: *seed, Quick: *quick, Trials: *trials,
+		Engine: *engine, Workers: *workers, Context: ctx,
+	}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			var n int
@@ -70,6 +79,10 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(e.ID), e.Title)
 		start := time.Now()
 		if err := e.Run(opts, os.Stdout); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -8,6 +8,7 @@
 package awakemis_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -197,7 +198,7 @@ func TestStepPortsMatchGoroutineOriginals(t *testing.T) {
 			for fname, form := range forms {
 				for ename, eng := range engines {
 					out := form.out()
-					m, err := eng.Run(g, form.prog(out), sim.Config{Seed: 31, Strict: true})
+					m, err := eng.Run(context.Background(), g, form.prog(out), sim.Config{Seed: 31, Strict: true})
 					if err != nil {
 						t.Fatalf("%s/%s: %v", fname, ename, err)
 					}

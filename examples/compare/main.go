@@ -2,9 +2,13 @@
 // paper's title is about — Luby's awake complexity grows like log n,
 // Awake-MIS like log log n (essentially flat at laptop scales), while
 // VT-MIS shows the O(log I) middle ground of Lemma 10.
+//
+// The whole sweep is one declarative batch: a Spec per (algorithm, n),
+// executed concurrently by the Runner with deterministic results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,36 +17,52 @@ import (
 
 func main() {
 	sizes := []int{64, 256, 1024, 4096}
-	algos := []awakemis.Algorithm{awakemis.Luby, awakemis.VTMIS, awakemis.AwakeMIS}
+	tasks := []string{"luby", "vt-mis", "awake-mis"}
+
+	var specs []awakemis.Spec
+	for _, n := range sizes {
+		for _, task := range tasks {
+			specs = append(specs, awakemis.Spec{
+				Name:    fmt.Sprintf("%s/n=%d", task, n),
+				Task:    task,
+				Graph:   awakemis.GraphSpec{Family: "gnp", N: n, P: 4 / float64(n), Seed: int64(n)},
+				Options: awakemis.Options{Seed: int64(n)},
+			})
+		}
+	}
+	reports, err := (&awakemis.Runner{}).RunBatch(context.Background(), specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byName := map[string]*awakemis.Report{}
+	for i, rep := range reports {
+		byName[specs[i].Name] = rep
+	}
 
 	fmt.Printf("%-8s", "n")
-	for _, a := range algos {
-		fmt.Printf("%16s", a)
+	for _, task := range tasks {
+		fmt.Printf("%16s", task)
 	}
 	fmt.Println("   (max awake rounds)")
 
-	first := map[awakemis.Algorithm]int64{}
-	last := map[awakemis.Algorithm]int64{}
+	first := map[string]int64{}
+	last := map[string]int64{}
 	for _, n := range sizes {
-		g := awakemis.GNP(n, 4/float64(n), int64(n))
 		fmt.Printf("%-8d", n)
-		for _, a := range algos {
-			res, err := awakemis.Run(g, a, awakemis.Options{Seed: int64(n)})
-			if err != nil {
-				log.Fatal(err)
+		for _, task := range tasks {
+			rep := byName[fmt.Sprintf("%s/n=%d", task, n)]
+			fmt.Printf("%16d", rep.Metrics.MaxAwake)
+			if _, ok := first[task]; !ok {
+				first[task] = rep.Metrics.MaxAwake
 			}
-			fmt.Printf("%16d", res.Metrics.MaxAwake)
-			if _, ok := first[a]; !ok {
-				first[a] = res.Metrics.MaxAwake
-			}
-			last[a] = res.Metrics.MaxAwake
+			last[task] = rep.Metrics.MaxAwake
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("\ngrowth over the sweep (last/first):")
-	for _, a := range algos {
-		fmt.Printf("  %-12s %.2fx\n", a, float64(last[a])/float64(first[a]))
+	for _, task := range tasks {
+		fmt.Printf("  %-12s %.2fx\n", task, float64(last[task])/float64(first[task]))
 	}
 	fmt.Println("\nexpected shape: luby ~2x (Θ(log n) over a 64x size range),")
 	fmt.Println("vt-mis ~1.5x (Θ(log I) with I=n), awake-mis ~1.0x (Θ(log log n)).")

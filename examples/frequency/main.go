@@ -2,7 +2,8 @@
 // no two neighbors share one — the classical application of distributed
 // (Δ+1)-coloring, here run in the sleeping model with the §7 extension
 // of the paper's virtual-binary-tree technique: every sensor needs only
-// O(log n) awake rounds to pick a conflict-free frequency.
+// O(log n) awake rounds to pick a conflict-free frequency. The run goes
+// through the task registry ("coloring") and reads the Report envelope.
 package main
 
 import (
@@ -18,18 +19,19 @@ func main() {
 	g := awakemis.RandomGeometric(1500, 0.08, 3)
 	fmt.Println("interference graph:", g)
 
-	res, err := awakemis.RunColoring(g, awakemis.Options{Seed: 3, Strict: true})
+	rep, err := awakemis.RunTask(g, awakemis.TaskColoring, awakemis.Options{Seed: 3, Strict: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	channels := map[int]int{}
-	for _, c := range res.Color {
+	for _, c := range rep.Output.Color {
 		channels[c]++
 	}
-	fmt.Printf("\nfrequencies used:   %d (Δ+1 bound: %d)\n", len(channels), g.MaxDegree()+1)
-	fmt.Printf("worst-case awake:   %d rounds (the O(log n) guarantee)\n", res.Metrics.MaxAwake)
-	fmt.Printf("protocol length:    %d rounds\n", res.Metrics.Rounds)
+	fmt.Printf("\nfrequencies used:   %d (Δ+1 bound: %d)\n", len(channels), rep.Graph.MaxDegree+1)
+	fmt.Printf("worst-case awake:   %d rounds (the O(log n) guarantee)\n", rep.Metrics.MaxAwake)
+	fmt.Printf("protocol length:    %d rounds\n", rep.Metrics.Rounds)
+	fmt.Printf("verified proper:    %v (%.1fms on the %s engine)\n", rep.Verified, rep.WallMS, rep.Engine)
 
 	fmt.Println("\nchannel load (sensors per frequency):")
 	for c := 0; c < len(channels); c++ {

@@ -7,12 +7,16 @@
 //
 // This example compares the energy profile of Luby's classical
 // algorithm (every undecided node awake every round) against Awake-MIS
-// and translates awake rounds into battery figures.
+// and translates awake rounds into battery figures. Both runs share a
+// deployment deadline: a context bounds how long the simulation itself
+// may take.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"awakemis"
 )
@@ -31,15 +35,20 @@ func main() {
 	g := awakemis.RandomGeometric(2000, 0.045, 7)
 	fmt.Println("sensor field:", g)
 
-	for _, algo := range []awakemis.Algorithm{awakemis.Luby, awakemis.AwakeMIS} {
-		res, err := awakemis.Run(g, algo, awakemis.Options{Seed: 7})
+	// Simulations abort (with an error wrapping the deadline) rather
+	// than run away — the service-shaped entry point.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	for _, task := range []string{"luby", "awake-mis"} {
+		rep, err := awakemis.RunTaskContext(ctx, g, task, awakemis.Options{Seed: 7})
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := res.Metrics
+		m := rep.Metrics
 
 		heads := 0
-		for _, in := range res.InMIS {
+		for _, in := range rep.Output.InMIS {
 			if in {
 				heads++
 			}
@@ -49,7 +58,7 @@ func main() {
 		worst := float64(m.MaxAwake)*awakeCost + float64(m.Rounds-m.MaxAwake)*sleepCost
 		avg := m.AvgAwake*awakeCost + (float64(m.Rounds)-m.AvgAwake)*sleepCost
 
-		fmt.Printf("\n%s:\n", algo)
+		fmt.Printf("\n%s:\n", task)
 		fmt.Printf("  cluster heads elected:  %d\n", heads)
 		fmt.Printf("  worst-case awake:       %d rounds\n", m.MaxAwake)
 		fmt.Printf("  protocol length:        %d rounds\n", m.Rounds)

@@ -5,6 +5,11 @@
 // splitting a bounded-degree graph into 2Δ random classes leaves only
 // tiny connected components — which is why each Awake-MIS batch can
 // finish with an O(log n)-size LDT-MIS in O(log log n) awake rounds.
+//
+// Unlike the other examples, this one demonstrates the internal
+// probabilistic machinery directly (no simulation runs), so it stays
+// on the internal packages; its RNG streams go through the
+// centralized splitmix64 deriver like everything else.
 package main
 
 import (
@@ -14,17 +19,24 @@ import (
 
 	"awakemis/internal/graph"
 	"awakemis/internal/greedy"
+	"awakemis/internal/rng"
 )
 
+const seed = 11
+
+// stream returns an independent labeled RNG stream under the demo seed.
+func stream(label string) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Derive(seed, label, 0)))
+}
+
 func main() {
-	rng := rand.New(rand.NewSource(11))
 	n := 4096
-	g := graph.GNP(n, 16/float64(n), rng)
+	g := graph.GNP(n, 16/float64(n), stream("input"))
 	fmt.Println("input:", g)
 
 	fmt.Println("\n-- Lemma 2: residual sparsity after a greedy prefix --")
 	fmt.Printf("%-10s %-14s %-14s\n", "prefix t", "residual Δ", "bound (n/t)·2ln n")
-	order := rng.Perm(n)
+	order := stream("order").Perm(n)
 	for _, t := range []int{64, 128, 256, 512, 1024, 2048} {
 		maxDeg := greedy.ResidualMaxDegree(g, order, t, n)
 		bound := float64(n) / float64(t) * 2 * math.Log(float64(n))
@@ -32,9 +44,9 @@ func main() {
 	}
 
 	fmt.Println("\n-- Lemma 3: shattering a bounded-degree graph --")
-	h := graph.RandomRegular(n, 8, rng)
+	h := graph.RandomRegular(n, 8, stream("regular"))
 	fmt.Println("input:", h)
-	classSizes := greedy.Shatter(h, rng)
+	classSizes := greedy.Shatter(h, stream("shatter"))
 	largest := greedy.MaxShatteredComponent(classSizes)
 	fmt.Printf("classes: 2Δ = %d\n", len(classSizes))
 	fmt.Printf("largest surviving component: %d nodes (bound 12·ln n = %.1f)\n",

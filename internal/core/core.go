@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,19 +36,19 @@ import (
 // simulation tractable (see DESIGN.md §2, substitution 3).
 type Params struct {
 	// C1 scales the batch-level probabilities (paper: 10).
-	C1 float64
+	C1 float64 `json:"c1,omitempty"`
 	// DeltaPrime is Δ′, the residual-degree bound; batches per level
 	// number 2Δ′. Zero means ⌈6·ln N⌉.
-	DeltaPrime int
+	DeltaPrime int `json:"delta_prime,omitempty"`
 	// NP is the component-size bound handed to LDT-MIS phases.
 	// Zero means ⌈12·ln N⌉.
-	NP int
+	NP int `json:"np,omitempty"`
 	// Variant selects the LDT construction inside phases:
 	// ldtmis.VariantAwake gives Theorem 13, ldtmis.VariantRound gives
 	// Corollary 14.
-	Variant ldtmis.Variant
+	Variant ldtmis.Variant `json:"variant,omitempty"`
 	// IDSpace is the random-ID space (paper: poly(N)). Zero means N³.
-	IDSpace int64
+	IDSpace int64 `json:"id_space,omitempty"`
 }
 
 // WithDefaults fills zero fields for a network bound N.
@@ -201,6 +202,12 @@ func Program(res *Result, sched *Schedule, params Params, n int) sim.Program {
 
 // Run executes Awake-MIS on g.
 func Run(g *graph.Graph, params Params, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, params, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, params Params, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	n := cfg.N
 	if n == 0 {
 		n = g.N()
@@ -214,7 +221,7 @@ func Run(g *graph.Graph, params Params, cfg sim.Config) (*Result, *sim.Metrics, 
 	params = params.WithDefaults(n)
 	sched := NewSchedule(n, params, cfg.Bandwidth)
 	res := &Result{InMIS: make([]bool, g.N()), Batch: make([]int, g.N())}
-	m, err := sim.Run(g, Program(res, sched, params, n), cfg)
+	m, err := sim.RunContext(ctx, g, Program(res, sched, params, n), cfg)
 	if err != nil {
 		return nil, m, fmt.Errorf("core: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"awakemis/internal/core"
+	"awakemis/internal/rng"
 	"awakemis/internal/sim"
 	"awakemis/internal/stats"
 	"awakemis/internal/verify"
@@ -42,7 +43,7 @@ func runE10(o Options, w io.Writer) error {
 			params := k.set(base, v)
 			seed := o.Seed + int64(v)
 			g := workload(n, seed)
-			res, m, err := core.Run(g, params, o.simConfig(sim.Config{Seed: seed, Strict: true}))
+			res, m, err := core.RunContext(o.ctx(), g, params, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 			if err != nil {
 				return fmt.Errorf("ablation %s=%d: %w", k.name, v, err)
 			}
@@ -68,13 +69,14 @@ func runE12(o Options, w io.Writer) error {
 	for _, n := range o.Sizes {
 		seed := o.Seed + int64(n)
 		g := workload(n, seed)
-		rng := rand.New(rand.NewSource(seed))
-		perm := rng.Perm(g.M())
+		// Edge order from its own derived stream, decorrelated from the
+		// graph generator's.
+		perm := rand.New(rand.NewSource(rng.Derive(seed, "edge-perm", 0))).Perm(g.M())
 		ids := vtmatch.EdgeIDs{}
 		for i, e := range g.Edges() {
 			ids[e] = perm[i] + 1
 		}
-		res, m, err := vtmatch.Run(g, ids, g.M(), o.simConfig(sim.Config{Seed: seed, Strict: true}))
+		res, m, err := vtmatch.RunContext(o.ctx(), g, ids, g.M(), o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return err
 		}
@@ -97,13 +99,14 @@ func runE11(o Options, w io.Writer) error {
 	for _, n := range o.Sizes {
 		seed := o.Seed + int64(n)
 		g := workload(n, seed)
-		rng := rand.New(rand.NewSource(seed))
-		perm := rng.Perm(n)
+		// ID permutation from its own derived stream, decorrelated from
+		// the graph generator's.
+		perm := rand.New(rand.NewSource(rng.Derive(seed, "perm-ids", 0))).Perm(n)
 		ids := make([]int, n)
 		for v, p := range perm {
 			ids[v] = p + 1
 		}
-		res, m, err := vtcolor.Run(g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
+		res, m, err := vtcolor.RunContext(o.ctx(), g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return err
 		}

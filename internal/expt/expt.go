@@ -6,18 +6,20 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"sort"
 
+	"awakemis"
 	"awakemis/internal/core"
 	"awakemis/internal/graph"
 	"awakemis/internal/greedy"
 	"awakemis/internal/ldtmis"
 	"awakemis/internal/luby"
-	"awakemis/internal/naive"
+	"awakemis/internal/rng"
 	"awakemis/internal/sim"
 	"awakemis/internal/stats"
 	"awakemis/internal/verify"
@@ -35,16 +37,32 @@ type Options struct {
 	Trials int
 	// Quick shrinks sweeps for CI-speed runs.
 	Quick bool
-	// Engine runs every simulation on a specific engine (nil means the
-	// default stepped engine). Results are engine-independent; this knob
-	// exists for benchmarking and cross-checking.
-	Engine sim.Engine
+	// Engine runs every simulation on a named engine ("" means the
+	// default stepped engine; see sim.EngineByName). Results are
+	// engine-independent; this knob exists for benchmarking and
+	// cross-checking. Experiments reject unknown names up front.
+	Engine string
+	// Workers caps the stepped engine's worker pool (0 = one per CPU).
+	Workers int
+	// Context cancels the whole suite: experiments poll it at round
+	// boundaries and between runs. Nil means context.Background().
+	Context context.Context
+}
+
+// ctx returns the harness context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // simConfig applies the harness-wide engine selection to one run's
 // configuration.
 func (o Options) simConfig(cfg sim.Config) sim.Config {
-	cfg.Engine = o.Engine
+	if eng, err := sim.EngineByName(o.Engine, o.Workers); err == nil {
+		cfg.Engine = eng
+	}
 	return cfg
 }
 
@@ -69,8 +87,24 @@ type Experiment struct {
 	Run   func(o Options, w io.Writer) error
 }
 
-// All returns every experiment in index order.
+// All returns every experiment in index order. Each experiment
+// validates Options.Engine up front: an unknown engine name is an
+// error, never a silent fallback to the default engine.
 func All() []Experiment {
+	list := experiments()
+	for i := range list {
+		run := list[i].Run
+		list[i].Run = func(o Options, w io.Writer) error {
+			if _, err := sim.EngineByName(o.Engine, o.Workers); err != nil {
+				return err
+			}
+			return run(o, w)
+		}
+	}
+	return list
+}
+
+func experiments() []Experiment {
 	return []Experiment{
 		{"f1", "Figure 1: virtual binary trees B([1,6]) and B*([1,6])", runF1},
 		{"f2", "Figure 2: communication sets S3([1,6]), S5([1,6])", runF2},
@@ -159,7 +193,7 @@ func sweepMIS(o Options, w io.Writer, name string,
 func runE1(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Awake-MIS (Theorem 13). Expected shape: max awake ~O(log log n) — nearly flat.")
 	return sweepMIS(o, w, "awake-mis", func(g *graph.Graph, n int, seed int64) (*sim.Metrics, []bool, error) {
-		res, m, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
+		res, m, err := core.RunContext(o.ctx(), g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -172,7 +206,7 @@ func runE2(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Note: with the randomized ConstructAwake substitution (DESIGN.md §2),")
 	fmt.Fprintln(w, "the paper's round-complexity advantage of this variant inverts; awake stays O(log log n)·log* n.")
 	return sweepMIS(o, w, "awake-mis-round", func(g *graph.Graph, n int, seed int64) (*sim.Metrics, []bool, error) {
-		res, m, err := core.Run(g, core.Params{Variant: ldtmis.VariantRound},
+		res, m, err := core.RunContext(o.ctx(), g, core.Params{Variant: ldtmis.VariantRound},
 			o.simConfig(sim.Config{Seed: seed, Strict: true}))
 		if err != nil {
 			return nil, nil, err
@@ -189,14 +223,15 @@ func runE3(o Options, w io.Writer) error {
 		for _, factor := range []int{1, 16} {
 			idBound := n * factor
 			seed := o.Seed + int64(idBound)
-			rng := rand.New(rand.NewSource(seed))
 			g := workload(n, seed)
-			perm := rng.Perm(idBound)[:n]
+			// The ID permutation draws from its own derived stream, never
+			// the raw seed the graph generator consumed.
+			perm := rand.New(rand.NewSource(rng.Derive(seed, "perm-ids", 0))).Perm(idBound)[:n]
 			ids := make([]int, n)
 			for v := range ids {
 				ids[v] = perm[v] + 1
 			}
-			res, m, err := vtmis.Run(g, ids, idBound, o.simConfig(sim.Config{Seed: seed, Strict: true}))
+			res, m, err := vtmis.RunContext(o.ctx(), g, ids, idBound, o.simConfig(sim.Config{Seed: seed, Strict: true}))
 			if err != nil {
 				return err
 			}
@@ -221,21 +256,9 @@ func runE4(o Options, w io.Writer) error {
 	for _, np := range sizes {
 		for _, v := range []ldtmis.Variant{ldtmis.VariantAwake, ldtmis.VariantRound} {
 			seed := o.Seed + int64(np) + int64(v)
-			rng := rand.New(rand.NewSource(seed))
 			g := graph.Cycle(np)
-			ids := make([]int64, np)
-			seen := map[int64]bool{}
-			for i := range ids {
-				for {
-					id := rng.Int63n(1<<40) + 1
-					if !seen[id] {
-						seen[id] = true
-						ids[i] = id
-						break
-					}
-				}
-			}
-			res, m, err := ldtmis.Run(g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
+			ids := rng.IDs40(np, seed)
+			res, m, err := ldtmis.RunContext(o.ctx(), g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
 			if err != nil {
 				return err
 			}
@@ -298,74 +321,58 @@ func runE6(o Options, w io.Writer) error {
 	return nil
 }
 
+// runE7 dispatches through the public Task registry: the headline
+// comparison is exactly the batch-of-specs workload the Runner was
+// built for, so the experiment doubles as an end-to-end exercise of
+// Runner.RunBatch (output verification happens inside RunTask).
 func runE7(o Options, w io.Writer) error {
 	o = o.withDefaults()
 	fmt.Fprintln(w, "Comparison (the abstract's headline): awake complexity vs round complexity.")
 	fmt.Fprintln(w, "Expected shape: Luby max-awake ~ Θ(log n) (doubles over the sweep);")
 	fmt.Fprintln(w, "Awake-MIS max-awake ~ Θ(log log n) (near-flat) at the cost of many sleeping rounds.")
+	var specs []awakemis.Spec
+	for _, n := range o.Sizes {
+		seed := o.Seed + int64(n)
+		for _, task := range []string{"luby", "naive-greedy", "vt-mis", "awake-mis"} {
+			if task == "naive-greedy" && n > 1024 {
+				// The naive baseline keeps every node awake for all I = n
+				// rounds (Θ(n²) awake node-rounds) — that cost is its point,
+				// but it makes large sweeps impractical.
+				continue
+			}
+			specs = append(specs, awakemis.Spec{
+				Name: fmt.Sprintf("%s/n=%d", task, n),
+				Task: task,
+				Graph: awakemis.GraphSpec{
+					Family: "gnp", N: n, P: 4 / float64(n), Seed: seed,
+				},
+				// Workers stays 0: the Runner divides its shared budget
+				// among the specs in flight.
+				Options: awakemis.Options{
+					Seed: seed, Strict: true,
+					Engine: awakemis.Engine(o.Engine),
+				},
+			})
+		}
+	}
+	runner := &awakemis.Runner{Workers: o.Workers, Seed: o.Seed}
+	reports, err := runner.RunBatch(o.ctx(), specs)
+	if err != nil {
+		return err
+	}
 	tb := &stats.Table{Header: []string{"n", "algorithm", "maxAwake", "avgAwake", "rounds"}}
 	type series struct{ xs, ys []float64 }
 	growth := map[string]*series{}
-	for _, n := range o.Sizes {
-		seed := o.Seed + int64(n)
-		g := workload(n, seed)
-		rng := rand.New(rand.NewSource(seed))
-
-		lres, lm, err := luby.Run(g, o.simConfig(sim.Config{Seed: seed, Strict: true}))
-		if err != nil {
-			return err
+	for i, rep := range reports {
+		m := rep.Metrics
+		tb.Add(rep.Graph.N, specs[i].Task, m.MaxAwake, m.AvgAwake, m.Rounds)
+		s := growth[specs[i].Task]
+		if s == nil {
+			s = &series{}
+			growth[specs[i].Task] = s
 		}
-		if err := verify.CheckMIS(g, lres.InMIS); err != nil {
-			return err
-		}
-		record := func(name string, m *sim.Metrics) {
-			tb.Add(n, name, m.MaxAwake, m.AvgAwake(), m.Rounds)
-			s := growth[name]
-			if s == nil {
-				s = &series{}
-				growth[name] = s
-			}
-			s.xs = append(s.xs, float64(n))
-			s.ys = append(s.ys, float64(m.MaxAwake))
-		}
-		record("luby", lm)
-
-		perm := rng.Perm(n)
-		ids := make([]int, n)
-		for v, p := range perm {
-			ids[v] = p + 1
-		}
-		if n <= 1024 {
-			// The naive baseline keeps every node awake for all I = n
-			// rounds (Θ(n²) awake node-rounds) — that cost is its point,
-			// but it makes large sweeps impractical.
-			nres, nm, err := naive.Run(g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
-			if err != nil {
-				return err
-			}
-			if err := verify.CheckMIS(g, nres.InMIS); err != nil {
-				return err
-			}
-			record("naive-greedy", nm)
-		}
-
-		vres, vm, err := vtmis.Run(g, ids, n, o.simConfig(sim.Config{Seed: seed, Strict: true}))
-		if err != nil {
-			return err
-		}
-		if err := verify.CheckMIS(g, vres.InMIS); err != nil {
-			return err
-		}
-		record("vt-mis", vm)
-
-		ares, am, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
-		if err != nil {
-			return err
-		}
-		if err := verify.CheckMIS(g, ares.InMIS); err != nil {
-			return err
-		}
-		record("awake-mis", am)
+		s.xs = append(s.xs, float64(rep.Graph.N))
+		s.ys = append(s.ys, float64(m.MaxAwake))
 	}
 	fmt.Fprint(w, tb)
 	names := make([]string, 0, len(growth))
@@ -390,13 +397,13 @@ func runE8(o Options, w io.Writer) error {
 	for _, n := range o.Sizes {
 		seed := o.Seed + int64(n)
 		g := workload(n, seed)
-		lres, lm, err := luby.Run(g, o.simConfig(sim.Config{Seed: seed}))
+		lres, lm, err := luby.RunContext(o.ctx(), g, o.simConfig(sim.Config{Seed: seed}))
 		if err != nil {
 			return err
 		}
 		_ = lres
 		tb.Add(n, "luby", lm.AvgAwake(), lm.MaxAwake, float64(lm.MaxAwake)/lm.AvgAwake())
-		ares, am, err := core.Run(g, core.Params{}, o.simConfig(sim.Config{Seed: seed}))
+		ares, am, err := core.RunContext(o.ctx(), g, core.Params{}, o.simConfig(sim.Config{Seed: seed}))
 		if err != nil {
 			return err
 		}
@@ -419,20 +426,8 @@ func runE9(o Options, w io.Writer) error {
 		for _, v := range []ldtmis.Variant{ldtmis.VariantAwake, ldtmis.VariantRound} {
 			seed := o.Seed + int64(np)
 			g := graph.Path(np)
-			rng := rand.New(rand.NewSource(seed))
-			ids := make([]int64, np)
-			seen := map[int64]bool{}
-			for i := range ids {
-				for {
-					id := rng.Int63n(1<<30) + 1
-					if !seen[id] {
-						seen[id] = true
-						ids[i] = id
-						break
-					}
-				}
-			}
-			res, m, err := ldtmis.Run(g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
+			ids := rng.IDs40(np, seed)
+			res, m, err := ldtmis.RunContext(o.ctx(), g, ids, np, v, o.simConfig(sim.Config{Seed: seed, N: 1 << 16, Strict: true}))
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@
 package ldtmis
 
 import (
+	"context"
 	"fmt"
 
 	"awakemis/internal/bitio"
@@ -149,6 +150,12 @@ type Result struct {
 // the provided unique IDs (from an arbitrarily large space) and a
 // common component-size bound np ≥ the largest component of g.
 func Run(g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, ids, np, v, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if len(ids) != g.N() {
 		return nil, nil, fmt.Errorf("ldtmis: %d ids for %d nodes", len(ids), g.N())
 	}
@@ -160,11 +167,11 @@ func Run(g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Resul
 		seen[id] = true
 	}
 	res := &Result{InMIS: make([]bool, g.N()), NewID: make([]int, g.N())}
-	prog := func(ctx *sim.Ctx) {
+	prog := func(sctx *sim.Ctx) {
 		state := misproto.Undecided
-		res.NewID[ctx.Node()] = RunSub(ctx, 1, ids[ctx.Node()], np, v, &state)
-		res.InMIS[ctx.Node()] = state == misproto.InMIS
+		res.NewID[sctx.Node()] = RunSub(sctx, 1, ids[sctx.Node()], np, v, &state)
+		res.InMIS[sctx.Node()] = state == misproto.InMIS
 	}
-	m, err := sim.Run(g, prog, cfg)
+	m, err := sim.RunContext(ctx, g, prog, cfg)
 	return res, m, err
 }

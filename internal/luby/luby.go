@@ -9,6 +9,7 @@ import (
 	"awakemis/internal/bitio"
 	"awakemis/internal/graph"
 	"awakemis/internal/sim"
+	"context"
 )
 
 // valueMsg carries a node's random value for one Luby iteration.
@@ -150,7 +151,13 @@ func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (in
 // Run executes Luby's algorithm on g and returns the MIS selection and
 // metrics.
 func Run(g *graph.Graph, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	res := &Result{InMIS: make([]bool, g.N())}
-	m, err := sim.RunStep(g, StepProgram(res), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res), cfg)
 	return res, m, err
 }

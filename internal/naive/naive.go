@@ -7,6 +7,7 @@
 package naive
 
 import (
+	"context"
 	"fmt"
 
 	"awakemis/internal/graph"
@@ -94,11 +95,17 @@ func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (in
 
 // Run executes the naive algorithm with the given ID assignment.
 func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, ids, idBound, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if err := CheckIDs(g.N(), ids, idBound); err != nil {
 		return nil, nil, err
 	}
 	res := &Result{InMIS: make([]bool, g.N())}
-	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"awakemis/internal/graph"
+)
+
+// spinNode wakes every round forever: the worst case for cancellation,
+// since the run would otherwise only stop at MaxRounds.
+type spinNode struct{}
+
+func (spinNode) Start(out *Outbox) {}
+func (spinNode) OnWake(round int64, inbox []Inbound, out *Outbox) (int64, bool) {
+	return round + 1, false
+}
+
+func spinStepProgram() StepProgram {
+	return func(env *NodeEnv) StepNode { return spinNode{} }
+}
+
+func spinGoroutineProgram() Program {
+	return func(ctx *Ctx) {
+		for {
+			ctx.Advance()
+		}
+	}
+}
+
+// cancelEngines is the grid the cancellation contract covers: the
+// lockstep engine and the stepped engine at several worker counts.
+func cancelEngines() map[string]Engine {
+	return map[string]Engine{
+		"lockstep":  NewLockstepEngine(),
+		"stepped-1": NewSteppedEngine(1),
+		"stepped-4": NewSteppedEngine(4),
+	}
+}
+
+func TestCancelMidRunBothEngines(t *testing.T) {
+	g := graph.Cycle(64)
+	progs := map[string]NodeProgram{
+		"step-form":      spinStepProgram(),
+		"goroutine-form": spinGoroutineProgram(),
+	}
+	for ename, eng := range cancelEngines() {
+		for pname, prog := range progs {
+			t.Run(ename+"/"+pname, func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() {
+					time.Sleep(10 * time.Millisecond)
+					cancel()
+				}()
+				start := time.Now()
+				m, err := eng.Run(ctx, g, prog, Config{Seed: 1})
+				elapsed := time.Since(start)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				if elapsed > 5*time.Second {
+					t.Fatalf("cancellation took %v; not prompt", elapsed)
+				}
+				if m == nil {
+					t.Fatal("metrics should describe the partial run")
+				}
+				// The run was killed mid-flight: it must have made progress
+				// but not reached the MaxRounds backstop.
+				if m.Rounds < 1 || m.Rounds >= 1<<40 {
+					t.Errorf("partial rounds = %d", m.Rounds)
+				}
+			})
+		}
+	}
+}
+
+func TestDeadlineExceededBothEngines(t *testing.T) {
+	g := graph.Cycle(32)
+	for ename, eng := range cancelEngines() {
+		t.Run(ename, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			defer cancel()
+			_, err := eng.Run(ctx, g, spinStepProgram(), Config{Seed: 2})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	g := graph.Cycle(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for ename, eng := range cancelEngines() {
+		m, err := eng.Run(ctx, g, spinStepProgram(), Config{Seed: 3})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", ename, err)
+		}
+		if m != nil && m.ExecutedRounds > 0 {
+			t.Errorf("%s: executed %d rounds under a dead context", ename, m.ExecutedRounds)
+		}
+	}
+}
+
+func TestUncancelledContextHarmless(t *testing.T) {
+	// A live context must not perturb results: same metrics with and
+	// without one, on both engines.
+	g := graph.Cycle(16)
+	prog := spinStepProgram()
+	cfg := Config{Seed: 4, MaxRounds: 100}
+	for ename, eng := range cancelEngines() {
+		_, plain := eng.Run(context.Background(), g, prog, cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		_, withCtx := eng.Run(ctx, g, prog, cfg)
+		cancel()
+		if !errors.Is(plain, ErrMaxRounds) || !errors.Is(withCtx, ErrMaxRounds) {
+			t.Fatalf("%s: want ErrMaxRounds from both, got %v / %v", ename, plain, withCtx)
+		}
+	}
+}

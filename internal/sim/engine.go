@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"awakemis/internal/graph"
@@ -21,8 +22,11 @@ type Engine interface {
 	// Name identifies the engine ("lockstep" or "stepped").
 	Name() string
 	// Run executes prog on every node of g under cfg. cfg.Engine is
-	// ignored (the receiver runs the program).
-	Run(g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error)
+	// ignored (the receiver runs the program). Engines poll ctx at every
+	// round boundary: once it is cancelled or past its deadline, Run
+	// stops the simulation, releases every node, and returns an error
+	// wrapping ctx.Err().
+	Run(ctx context.Context, g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error)
 }
 
 var defaultEngine Engine = NewSteppedEngine(0)

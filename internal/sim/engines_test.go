@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -28,7 +29,7 @@ func runAll(t *testing.T, g *graph.Graph, prog NodeProgram, cfg Config) *Metrics
 	var refName string
 	for name, eng := range testEngines() {
 		cfg.Engine = eng
-		m, err := eng.Run(g, prog, cfg)
+		m, err := eng.Run(context.Background(), g, prog, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -171,7 +172,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 			}
 			ctx.Deliver()
 		})
-		_, err := stepped.Run(g, prog, Config{Seed: 1})
+		_, err := stepped.Run(context.Background(), g, prog, Config{Seed: 1})
 		if err == nil || !strings.Contains(err.Error(), "node 1") {
 			t.Fatalf("err = %v, want node 1 panic", err)
 		}
@@ -182,7 +183,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 			ctx.Send(0, bigMsg{bits: 10_000})
 			ctx.Deliver()
 		})
-		_, err := stepped.Run(g, prog, Config{Seed: 1, Strict: true})
+		_, err := stepped.Run(context.Background(), g, prog, Config{Seed: 1, Strict: true})
 		var be *BandwidthError
 		if !errors.As(err, &be) {
 			t.Fatalf("err = %v, want BandwidthError", err)
@@ -191,7 +192,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 
 	t.Run("strict-bandwidth-step-form", func(t *testing.T) {
 		sp := StepProgram(func(env *NodeEnv) StepNode { return &bigSender{} })
-		_, err := stepped.Run(g, sp, Config{Seed: 1, Strict: true})
+		_, err := stepped.Run(context.Background(), g, sp, Config{Seed: 1, Strict: true})
 		var be *BandwidthError
 		if !errors.As(err, &be) {
 			t.Fatalf("err = %v, want BandwidthError", err)
@@ -204,7 +205,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 				ctx.Sleep(100)
 			}
 		})
-		_, err := stepped.Run(g, prog, Config{Seed: 1, MaxRounds: 500})
+		_, err := stepped.Run(context.Background(), g, prog, Config{Seed: 1, MaxRounds: 500})
 		if !errors.Is(err, ErrMaxRounds) {
 			t.Fatalf("err = %v, want ErrMaxRounds", err)
 		}
@@ -212,7 +213,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 
 	t.Run("invalid-port-step-form", func(t *testing.T) {
 		sp := StepProgram(func(env *NodeEnv) StepNode { return &badPortSender{} })
-		_, err := stepped.Run(g, sp, Config{Seed: 1})
+		_, err := stepped.Run(context.Background(), g, sp, Config{Seed: 1})
 		if err == nil || !strings.Contains(err.Error(), "invalid port") {
 			t.Fatalf("err = %v, want invalid port", err)
 		}
@@ -220,7 +221,7 @@ func TestSteppedErrorPaths(t *testing.T) {
 
 	t.Run("non-monotone-wake", func(t *testing.T) {
 		sp := StepProgram(func(env *NodeEnv) StepNode { return &stuckNode{} })
-		_, err := stepped.Run(g, sp, Config{Seed: 1})
+		_, err := stepped.Run(context.Background(), g, sp, Config{Seed: 1})
 		if err == nil || !strings.Contains(err.Error(), "not after round") {
 			t.Fatalf("err = %v, want schedule error", err)
 		}
@@ -276,7 +277,7 @@ func TestFuzzEquivalence(t *testing.T) {
 					ctx.Sleep(ctx.Rand().Int63n(3))
 				}
 			})
-			if _, err := eng.Run(g, prog, Config{Seed: seed}); err != nil {
+			if _, err := eng.Run(context.Background(), g, prog, Config{Seed: seed}); err != nil {
 				t.Fatalf("trial %d %s: %v", trial, name, err)
 			}
 			if ref == nil {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,12 +21,12 @@ func NewLockstepEngine() Engine { return lockstepEngine{} }
 func (lockstepEngine) Name() string { return "lockstep" }
 
 // Run implements Engine. Step programs are adapted to goroutine form.
-func (lockstepEngine) Run(g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error) {
+func (lockstepEngine) Run(ctx context.Context, g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error) {
 	switch p := prog.(type) {
 	case Program:
-		return runLockstep(g, p, cfg)
+		return runLockstep(ctx, g, p, cfg)
 	case StepProgram:
-		return runLockstep(g, p.asProgram(), cfg)
+		return runLockstep(ctx, g, p.asProgram(), cfg)
 	default:
 		return nil, fmt.Errorf("sim: lockstep: unsupported program type %T", prog)
 	}
@@ -99,7 +100,7 @@ func (e *lockstepRun) sendEvent(ev nodeEvent) {
 	}
 }
 
-func runLockstep(g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
+func runLockstep(ctx context.Context, g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
 	n := g.N()
 	cfg, err := cfg.withDefaults(n)
 	if err != nil {
@@ -134,7 +135,7 @@ func runLockstep(g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
 		go e.nodeMain(st, prog)
 	}
 
-	err = e.loop(q)
+	err = e.loop(ctx, q)
 	close(e.quit)
 	e.wg.Wait()
 	if err == nil {
@@ -199,9 +200,15 @@ func (e *lockstepRun) nodeMain(st *lsNode, prog Program) {
 	}()
 }
 
-func (e *lockstepRun) loop(q *wakeQueue) error {
+func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 	stamp := make([]int64, len(e.states)) // stamp[v] == clock+1 iff v awake now
 	for !q.empty() {
+		// Honor cancellation at every round boundary. All node goroutines
+		// are parked between rounds here, so returning is safe: the
+		// caller closes quit, which unwinds every program.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sim: aborted after round %d: %w", e.m.Rounds, err)
+		}
 		clock, awake := q.pop()
 		if clock > e.cfg.MaxRounds {
 			return fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)

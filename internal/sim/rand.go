@@ -1,6 +1,10 @@
 package sim
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"awakemis/internal/rng"
+)
 
 // nodeSource is a splitmix64 stream: 8 bytes of state per node instead
 // of the ~4.9KB of math/rand's default source, so million-node runs
@@ -19,22 +23,12 @@ func (s *nodeSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 func (s *nodeSource) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return rng.Mix(s.state)
 }
 
-// newNodeRand returns node id's private randomness for a run seed.
+// newNodeRand returns node id's private randomness for a run seed. The
+// stream derivation lives in internal/rng (rng.Stream) and is frozen:
+// recorded runs replay bit-identically across engines and releases.
 func newNodeRand(seed int64, id int) *rand.Rand {
-	return rand.New(&nodeSource{state: uint64(mix(seed, int64(id)))})
-}
-
-// mix derives a per-node stream seed from the run seed (splitmix64
-// finalizer).
-func mix(seed, id int64) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return rand.New(&nodeSource{state: uint64(rng.Stream(seed, int64(id)))})
 }

@@ -56,6 +56,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -210,12 +211,31 @@ type outMsg struct {
 // or the run exceeded MaxRounds. The engine is cfg.Engine (Default()
 // when nil).
 func Run(g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
-	return engineOf(cfg).Run(g, prog, cfg)
+	return RunContext(context.Background(), g, prog, cfg)
+}
+
+// RunContext is Run under a context: the engine polls ctx at every
+// round boundary and aborts the simulation — returning an error that
+// wraps ctx.Err() — once it is cancelled or past its deadline. A nil
+// ctx means context.Background().
+func RunContext(ctx context.Context, g *graph.Graph, prog Program, cfg Config) (*Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return engineOf(cfg).Run(ctx, g, prog, cfg)
 }
 
 // RunStep is Run for step-form programs.
 func RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Metrics, error) {
-	return engineOf(cfg).Run(g, prog, cfg)
+	return RunStepContext(context.Background(), g, prog, cfg)
+}
+
+// RunStepContext is RunContext for step-form programs.
+func RunStepContext(ctx context.Context, g *graph.Graph, prog StepProgram, cfg Config) (*Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return engineOf(cfg).Run(ctx, g, prog, cfg)
 }
 
 // routeRound delivers one round's staged sends between mutually awake

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,18 +32,18 @@ func NewSteppedEngine(workers int) Engine {
 func (e *steppedEngine) Name() string { return "stepped" }
 
 // Run implements Engine. Goroutine programs are adapted to step form.
-func (e *steppedEngine) Run(g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error) {
+func (e *steppedEngine) Run(ctx context.Context, g *graph.Graph, prog NodeProgram, cfg Config) (*Metrics, error) {
 	cfg, err := cfg.withDefaults(g.N())
 	if err != nil {
 		return nil, err
 	}
 	switch p := prog.(type) {
 	case StepProgram:
-		return e.run(g, p, cfg)
+		return e.run(ctx, g, p, cfg)
 	case Program:
 		ad := newGoroutineAdapter(p, &cfg)
 		defer ad.shutdown()
-		return e.run(g, ad.stepProgram(), cfg)
+		return e.run(ctx, g, ad.stepProgram(), cfg)
 	default:
 		return nil, fmt.Errorf("sim: stepped: unsupported program type %T", prog)
 	}
@@ -73,7 +74,7 @@ func (f *nodeFailure) attach(r any) {
 	}
 }
 
-func (e *steppedEngine) run(g *graph.Graph, sp StepProgram, cfg Config) (*Metrics, error) {
+func (e *steppedEngine) run(ctx context.Context, g *graph.Graph, sp StepProgram, cfg Config) (*Metrics, error) {
 	n := g.N()
 	m := &Metrics{AwakePerNode: make([]int64, n)}
 	nodes := make([]snode, n)
@@ -98,6 +99,11 @@ func (e *steppedEngine) run(g *graph.Graph, sp StepProgram, cfg Config) (*Metric
 
 	stamp := make([]int64, n)
 	for !q.empty() {
+		// Honor cancellation at every round boundary: the nodes' inline
+		// state is simply dropped, so an abort needs no unwinding.
+		if err := ctx.Err(); err != nil {
+			return m, fmt.Errorf("sim: aborted after round %d: %w", m.Rounds, err)
+		}
 		clock, awake := q.pop()
 		if clock > cfg.MaxRounds {
 			return m, fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)

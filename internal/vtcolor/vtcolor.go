@@ -14,6 +14,7 @@
 package vtcolor
 
 import (
+	"context"
 	"fmt"
 
 	"awakemis/internal/bitio"
@@ -152,11 +153,17 @@ func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (in
 // [1, idBound]; the algorithm occupies rounds 1..idBound after the
 // model's initial all-awake round 0.
 func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, ids, idBound, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if err := checkIDs(g.N(), ids, idBound); err != nil {
 		return nil, nil, err
 	}
 	res := &Result{Color: make([]int, g.N())}
-	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 

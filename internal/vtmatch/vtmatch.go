@@ -16,6 +16,7 @@
 package vtmatch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -151,6 +152,12 @@ func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (in
 // incident edges (both endpoints deterministically derive an edge's ID,
 // e.g. during a hello round; the harness passes the assignment in).
 func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, ids, bound, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if err := ids.Check(g, bound); err != nil {
 		return nil, nil, err
 	}
@@ -158,7 +165,7 @@ func Run(g *graph.Graph, ids EdgeIDs, bound int, cfg sim.Config) (*Result, *sim.
 	for v := range res.MatchedWith {
 		res.MatchedWith[v] = -1
 	}
-	m, err := sim.RunStep(g, StepProgram(res, g, ids), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, g, ids), cfg)
 	return res, m, err
 }
 

@@ -9,6 +9,7 @@
 package vtmis
 
 import (
+	"context"
 	"fmt"
 
 	"awakemis/internal/graph"
@@ -149,11 +150,17 @@ func (n *stepNode) OnWake(round int64, inbox []sim.Inbound, out *sim.Outbox) (in
 // model's initial all-awake round; the algorithm occupies rounds
 // 1..idBound.
 func Run(g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
+	return RunContext(context.Background(), g, ids, idBound, cfg)
+}
+
+// RunContext is Run under a context; cancellation aborts the
+// simulation at the next round boundary.
+func RunContext(ctx context.Context, g *graph.Graph, ids []int, idBound int, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if err := CheckIDs(g.N(), ids, idBound); err != nil {
 		return nil, nil, err
 	}
 	res := &Result{InMIS: make([]bool, g.N())}
-	m, err := sim.RunStep(g, StepProgram(res, ids, idBound), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, ids, idBound), cfg)
 	return res, m, err
 }
 

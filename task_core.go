@@ -1,0 +1,47 @@
+package awakemis
+
+import (
+	"context"
+
+	"awakemis/internal/core"
+	"awakemis/internal/ldtmis"
+	"awakemis/internal/sim"
+)
+
+// Registration shim for internal/core: the paper's headline Awake-MIS
+// algorithm (Theorem 13) and its round-efficient variant
+// (Corollary 14).
+func init() {
+	registerTask(Task{
+		Name:     string(AwakeMIS),
+		Kind:     "mis",
+		Summary:  "O(log log n)-awake MIS, the paper's main result (Theorem 13)",
+		IDScheme: "anonymous: per-node randomness only, random poly(N) IDs drawn internally",
+		rank:     0,
+		run:      runAwakeMIS(ldtmis.VariantAwake),
+		verify:   verifyMIS,
+	})
+	registerTask(Task{
+		Name:     string(AwakeMISRound),
+		Kind:     "mis",
+		Summary:  "Awake-MIS on the deterministic LDT construction (Corollary 14)",
+		IDScheme: "anonymous: per-node randomness only, random poly(N) IDs drawn internally",
+		rank:     1,
+		run:      runAwakeMIS(ldtmis.VariantRound),
+		verify:   verifyMIS,
+	})
+}
+
+func runAwakeMIS(variant ldtmis.Variant) func(context.Context, *Graph, Options, sim.Config) (Output, *sim.Metrics, error) {
+	return func(ctx context.Context, g *Graph, opt Options, cfg sim.Config) (Output, *sim.Metrics, error) {
+		params := opt.Params
+		if variant == ldtmis.VariantRound {
+			params.Variant = ldtmis.VariantRound
+		}
+		res, m, err := core.RunContext(ctx, g.internal(), params, cfg)
+		if err != nil {
+			return Output{}, m, err
+		}
+		return Output{InMIS: res.InMIS}, m, nil
+	}
+}

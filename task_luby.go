@@ -1,0 +1,27 @@
+package awakemis
+
+import (
+	"context"
+
+	"awakemis/internal/luby"
+	"awakemis/internal/sim"
+)
+
+// Registration shim for internal/luby: the classical baseline.
+func init() {
+	registerTask(Task{
+		Name:     string(Luby),
+		Kind:     "mis",
+		Summary:  "Luby's classical MIS: O(log n) rounds and O(log n) awake",
+		IDScheme: "anonymous: per-node randomness only",
+		rank:     2,
+		run: func(ctx context.Context, g *Graph, opt Options, cfg sim.Config) (Output, *sim.Metrics, error) {
+			res, m, err := luby.RunContext(ctx, g.internal(), cfg)
+			if err != nil {
+				return Output{}, m, err
+			}
+			return Output{InMIS: res.InMIS}, m, nil
+		},
+		verify: verifyMIS,
+	})
+}

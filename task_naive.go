@@ -1,0 +1,29 @@
+package awakemis
+
+import (
+	"context"
+
+	"awakemis/internal/naive"
+	"awakemis/internal/sim"
+)
+
+// Registration shim for internal/naive: the O(I)-awake sequential
+// greedy baseline (§5.3).
+func init() {
+	registerTask(Task{
+		Name:     string(NaiveGreedy),
+		Kind:     "mis",
+		Summary:  "naive distributed sequential greedy MIS: O(I) awake (§5.3)",
+		IDScheme: `random permutation of [1, n], stream "perm-ids"`,
+		rank:     3,
+		run: func(ctx context.Context, g *Graph, opt Options, cfg sim.Config) (Output, *sim.Metrics, error) {
+			n := g.N()
+			res, m, err := naive.RunContext(ctx, g.internal(), permIDs(n, opt.Seed), n, cfg)
+			if err != nil {
+				return Output{}, m, err
+			}
+			return Output{InMIS: res.InMIS}, m, nil
+		},
+		verify: verifyMIS,
+	})
+}

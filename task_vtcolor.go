@@ -1,0 +1,32 @@
+package awakemis
+
+import (
+	"context"
+
+	"awakemis/internal/sim"
+	"awakemis/internal/verify"
+	"awakemis/internal/vtcolor"
+)
+
+// Registration shim for internal/vtcolor: greedy (Δ+1)-coloring, the
+// first §7 extension.
+func init() {
+	registerTask(Task{
+		Name:     TaskColoring,
+		Kind:     "coloring",
+		Summary:  "greedy (Δ+1)-coloring in O(log n) awake rounds (§7 extension)",
+		IDScheme: `random permutation of [1, n], stream "perm-ids"`,
+		rank:     6,
+		run: func(ctx context.Context, g *Graph, opt Options, cfg sim.Config) (Output, *sim.Metrics, error) {
+			n := g.N()
+			res, m, err := vtcolor.RunContext(ctx, g.internal(), permIDs(n, opt.Seed), n, cfg)
+			if err != nil {
+				return Output{}, m, err
+			}
+			return Output{Color: res.Color}, m, nil
+		},
+		verify: func(g *Graph, out Output) error {
+			return verify.CheckColoring(g.internal(), out.Color)
+		},
+	})
+}

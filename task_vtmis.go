@@ -1,0 +1,28 @@
+package awakemis
+
+import (
+	"context"
+
+	"awakemis/internal/sim"
+	"awakemis/internal/vtmis"
+)
+
+// Registration shim for internal/vtmis: Algorithm VT-MIS (Lemma 10).
+func init() {
+	registerTask(Task{
+		Name:     string(VTMIS),
+		Kind:     "mis",
+		Summary:  "VT-MIS: O(log I) awake via the virtual binary tree (Lemma 10)",
+		IDScheme: `random permutation of [1, n], stream "perm-ids"`,
+		rank:     4,
+		run: func(ctx context.Context, g *Graph, opt Options, cfg sim.Config) (Output, *sim.Metrics, error) {
+			n := g.N()
+			res, m, err := vtmis.RunContext(ctx, g.internal(), permIDs(n, opt.Seed), n, cfg)
+			if err != nil {
+				return Output{}, m, err
+			}
+			return Output{InMIS: res.InMIS}, m, nil
+		},
+		verify: verifyMIS,
+	})
+}
