@@ -1,0 +1,279 @@
+// Package client is the typed Go client for the awakemisd service
+// API: submit Specs, poll jobs, wait for Reports, cancel, and read
+// the registry, stats, and health endpoints. The wire structs mirror
+// internal/service one for one; the daemon's own end-to-end tests run
+// through this package, so drift between the two is caught in CI.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"awakemis"
+)
+
+// JobStatus mirrors the service's job lifecycle states.
+type JobStatus string
+
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one submission as the server reports it. Spec is the
+// server's canonical form and Hash its content address.
+type Job struct {
+	ID     string          `json:"id"`
+	Status JobStatus       `json:"status"`
+	Hash   string          `json:"hash"`
+	Spec   awakemis.Spec   `json:"spec"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// DecodeReport unmarshals the job's Report (Status must be "done").
+func (j *Job) DecodeReport() (*awakemis.Report, error) {
+	if j.Status != JobDone {
+		return nil, fmt.Errorf("client: job %s is %s, not done", j.ID, j.Status)
+	}
+	var rep awakemis.Report
+	if err := json.Unmarshal(j.Report, &rep); err != nil {
+		return nil, fmt.Errorf("client: decoding report of job %s: %w", j.ID, err)
+	}
+	return &rep, nil
+}
+
+// TaskInfo is one /v1/tasks registry entry.
+type TaskInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Summary  string `json:"summary"`
+	IDScheme string `json:"id_scheme"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Coalesced      int64 `json:"coalesced"`
+	EngineRuns     int64 `json:"engine_runs"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheBudget    int64 `json:"cache_budget_bytes"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	JobsSubmitted  int64 `json:"jobs_submitted"`
+	JobsCompleted  int64 `json:"jobs_completed"`
+	JobsFailed     int64 `json:"jobs_failed"`
+	JobsCanceled   int64 `json:"jobs_canceled"`
+	QueueDepth     int   `json:"queue_depth"`
+	InFlight       int   `json:"inflight"`
+	Draining       bool  `json:"draining"`
+}
+
+// APIError is a non-2xx response decoded from the server's JSON error
+// envelope.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("awakemisd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsRetryable reports whether the request may succeed later (the
+// server was draining or its queue full).
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Client talks to one awakemisd daemon.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	// PollInterval paces Wait's status polling (default 25ms, backing
+	// off 1.5x to 1s between polls).
+	PollInterval time.Duration
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7600"). httpClient nil means http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reqBody io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		reqBody = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reqBody)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts one spec and returns its job — possibly already done
+// when served from the report cache.
+func (c *Client) Submit(ctx context.Context, spec awakemis.Spec) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches a job's current state.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Cancel asks the server to cancel the job and returns its final
+// state. Other submitters of the same spec are unaffected.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Wait polls the job until it reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Status.Terminal() {
+			return job, nil
+		}
+		timer := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return job, ctx.Err()
+		case <-timer.C:
+		}
+		if interval = interval * 3 / 2; interval > time.Second {
+			interval = time.Second
+		}
+	}
+}
+
+// Run submits the spec and waits for its Report: the remote
+// equivalent of awakemis.RunSpec. A failed or canceled job is an
+// error.
+func (c *Client) Run(ctx context.Context, spec awakemis.Spec) (*awakemis.Report, error) {
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if !job.Status.Terminal() {
+		if job, err = c.Wait(ctx, job.ID); err != nil {
+			return nil, err
+		}
+	}
+	switch job.Status {
+	case JobDone:
+		return job.DecodeReport()
+	case JobFailed:
+		return nil, fmt.Errorf("awakemisd: job %s failed: %s", job.ID, job.Error)
+	default:
+		return nil, fmt.Errorf("awakemisd: job %s was %s", job.ID, job.Status)
+	}
+}
+
+// Tasks lists the server's task registry.
+func (c *Client) Tasks(ctx context.Context) ([]TaskInfo, error) {
+	var infos []TaskInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/tasks", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health checks /v1/healthz; a draining or unreachable server is an
+// error.
+func (c *Client) Health(ctx context.Context) error {
+	var status struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &status); err != nil {
+		return err
+	}
+	if status.Status != "ok" {
+		return errors.New("awakemisd: health status " + status.Status)
+	}
+	return nil
+}

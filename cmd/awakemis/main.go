@@ -9,12 +9,22 @@
 //	awakemis -algo coloring -json
 //	awakemis -algo luby -n 1000000 -engine stepped -workers 8
 //	awakemis -batch specs.json -parallel 4 > reports.json
+//	awakemis -batch specs.json -server http://127.0.0.1:7600
 //	awakemis -list
 //
 // The -batch file is a JSON array of specs, each {name, task, graph,
 // options}; see the Spec type. Batch output is a JSON array of
 // Reports in spec order; progress goes to stderr. Ctrl-C cancels
 // in-flight simulations at their next round boundary.
+//
+// With -server, the batch is submitted to a running awakemisd daemon
+// instead of executing locally: specs are resolved with the same
+// per-spec seed derivation the local Runner uses, so reports carry
+// the same results a local run produces (the daemon canonicalizes
+// specs, so the workers echo field and traces are dropped — neither
+// affects results). Duplicate specs coalesce server-side, and
+// repeated submissions are served byte-identically from the daemon's
+// report cache.
 package main
 
 import (
@@ -25,9 +35,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
+	"sync"
 
 	"awakemis"
+	"awakemis/client"
 )
 
 func main() {
@@ -47,6 +60,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the run's Report as JSON")
 		batch    = flag.String("batch", "", "run a JSON file of specs through the batch Runner")
 		parallel = flag.Int("parallel", 0, "batch: specs in flight at once (0 = one per CPU)")
+		server   = flag.String("server", "", "batch: submit to a running awakemisd at this base URL instead of executing locally")
 		list     = flag.Bool("list", false, "list tasks and exit")
 	)
 	flag.Parse()
@@ -64,8 +78,15 @@ func main() {
 	defer stop()
 
 	if *batch != "" {
-		runBatch(ctx, *batch, *parallel, *workers, *seed)
+		if *server != "" {
+			submitBatch(ctx, *batch, *server, *parallel, *seed)
+		} else {
+			runBatch(ctx, *batch, *parallel, *workers, *seed)
+		}
 		return
+	}
+	if *server != "" {
+		fail(errors.New("-server requires -batch (single runs execute locally)"))
 	}
 
 	var g *awakemis.Graph
@@ -150,9 +171,8 @@ func outputLine(rep *awakemis.Report) string {
 	}
 }
 
-// runBatch executes a JSON spec file through the batch Runner:
-// reports to stdout (a JSON array, in spec order), progress to stderr.
-func runBatch(ctx context.Context, path string, parallel, workers int, seed int64) {
+// loadSpecs reads a -batch file: a JSON array of Specs.
+func loadSpecs(path string) []awakemis.Spec {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail(err)
@@ -161,6 +181,13 @@ func runBatch(ctx context.Context, path string, parallel, workers int, seed int6
 	if err := json.Unmarshal(data, &specs); err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}
+	return specs
+}
+
+// runBatch executes a JSON spec file through the batch Runner:
+// reports to stdout (a JSON array, in spec order), progress to stderr.
+func runBatch(ctx context.Context, path string, parallel, workers int, seed int64) {
+	specs := loadSpecs(path)
 	runner := &awakemis.Runner{
 		Parallel: parallel,
 		Workers:  workers,
@@ -185,6 +212,92 @@ func runBatch(ctx context.Context, path string, parallel, workers int, seed int6
 	fmt.Println(string(out))
 	if err != nil {
 		fail(err)
+	}
+}
+
+// submitBatch runs a spec file against a remote awakemisd: every spec
+// is resolved with the Runner's per-spec seed derivation (so remote
+// reports carry the same results as a local -batch run; the daemon's
+// canonicalization drops the result-irrelevant workers echo field),
+// submitted through the typed client, and awaited. Output matches
+// runBatch: a JSON array of Reports in spec order on stdout — the
+// daemon serves the exact bytes it cached, so resubmissions are
+// byte-identical — and progress on stderr.
+func submitBatch(ctx context.Context, path, server string, parallel int, seed int64) {
+	specs := loadSpecs(path)
+	c := client.New(server, nil)
+	if err := c.Health(ctx); err != nil {
+		fail(err)
+	}
+
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	resolver := &awakemis.Runner{Seed: seed}
+	reports := make([]json.RawMessage, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := resolver.Resolve(specs[i], i)
+			job, err := c.Submit(ctx, spec)
+			if err == nil && !job.Status.Terminal() {
+				job, err = c.Wait(ctx, job.ID)
+			}
+			status := ""
+			switch {
+			case err != nil:
+			case job.Status == client.JobDone:
+				reports[i] = job.Report
+				if job.Cached {
+					status = " (cached)"
+				}
+			case job.Status == client.JobFailed:
+				err = errors.New(job.Error)
+			default:
+				err = fmt.Errorf("job %s was %s", job.ID, job.Status)
+			}
+			errs[i] = err
+			mu.Lock()
+			done++
+			line := "ok" + status
+			if err != nil {
+				line = "FAILED: " + err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-24s %s\n", done, len(specs), spec.Name+" "+spec.Task, line)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(string(out))
+	failed := 0
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("%d of %d specs failed (first: %w)", failed, len(specs), first))
 	}
 }
 

@@ -1,0 +1,98 @@
+// Command awakemisd serves the task registry as a job-queue service:
+// an HTTP JSON API that accepts Specs, deduplicates identical
+// submissions through a content-addressed report cache (in-flight
+// duplicates coalesce onto one simulation), executes on a bounded
+// worker pool, and serves the resulting Reports.
+//
+// Usage:
+//
+//	awakemisd -addr :7600 -workers 4 -queue 256 -cache-mb 64
+//
+// Endpoints (see the README's "Running as a service" section):
+//
+//	POST   /v1/jobs      submit a Spec; 200 on cache hit, else 202
+//	GET    /v1/jobs/{id} job status and, when done, its Report
+//	DELETE /v1/jobs/{id} cancel one submission (duplicates unaffected)
+//	GET    /v1/tasks     the task registry
+//	GET    /v1/stats     cache/queue/job counters
+//	GET    /v1/healthz   200 serving, 503 draining
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
+// and running simulations finish (up to -drain-timeout, then they are
+// canceled at the next round boundary), and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"awakemis/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7600", "listen address")
+		workers    = flag.Int("workers", 0, "simulations in flight at once (0 = one per CPU, capped at 4)")
+		simWorkers = flag.Int("sim-workers", 0, "total stepped-engine worker budget divided among the slots (0 = one per CPU)")
+		queue      = flag.Int("queue", 0, "pending-simulation queue bound (0 = 256)")
+		cacheMB    = flag.Int64("cache-mb", 0, "report cache budget in MiB (0 = 64, negative disables)")
+		history    = flag.Int("history", 0, "finished jobs kept queryable (0 = 4096)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight simulations finish")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
+		QueueSize:  *queue,
+		CacheBytes: *cacheMB << 20,
+		JobHistory: *history,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	log.Printf("awakemisd listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining (timeout %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Drain the job queue first — new submissions already get 503, but
+	// status polls keep working so waiting clients see their jobs
+	// finish — then close the HTTP listener.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	switch err := srv.Shutdown(drainCtx); {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Printf("drain timed out; in-flight simulations were canceled")
+	case err != nil:
+		log.Printf("drain: %v", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("awakemisd stopped")
+}

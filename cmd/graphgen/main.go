@@ -1,36 +1,138 @@
-// Command graphgen generates workload graphs as edge lists on stdout
-// (one "u v" pair per line, preceded by a "# n m" header), for feeding
-// external tools or archiving experiment inputs.
+// Command graphgen generates workloads: edge lists for external
+// tools, or ready-to-submit Spec JSON for the batch runner and the
+// awakemisd service.
 //
 // Usage:
 //
 //	graphgen -graph gnp -n 1024 -p 0.004 -seed 7 > g.txt
+//	graphgen -format spec -graph gnp -n 1024 -task awake-mis > spec.json
+//	graphgen -format batch -families all -tasks awake-mis,luby -seeds 3 > specs.json
+//
+// Formats:
+//
+//	edges  (default) one "u v" pair per line after a "# n m" header
+//	spec   one Spec as JSON — pipe into POST /v1/jobs
+//	batch  a JSON array of Specs, the cross product of -families ×
+//	       -tasks × -seeds — pipe into awakemis -batch or submit with
+//	       awakemis -batch specs.json -server URL
+//
+// Batch specs are named family/task/s<seed> and validated before
+// emission, so a generated file never fails downstream.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"awakemis"
 )
 
 func main() {
 	var (
-		family = flag.String("graph", "gnp", "family: gnp|cycle|path|complete|star|grid|tree|regular|geometric|powerlaw")
-		n      = flag.Int("n", 1024, "number of nodes")
-		p      = flag.Float64("p", 0, "edge probability for gnp (0 = 4/n)")
-		d      = flag.Int("d", 4, "degree for regular / attachments for powerlaw")
-		r      = flag.Float64("r", 0.1, "radius for geometric")
-		seed   = flag.Int64("seed", 1, "random seed")
+		family   = flag.String("graph", "gnp", "family: "+strings.Join(awakemis.Families(), "|"))
+		n        = flag.Int("n", 1024, "number of nodes")
+		p        = flag.Float64("p", 0, "edge probability for gnp (0 = 4/n)")
+		d        = flag.Int("d", 4, "degree for regular / attachments for powerlaw")
+		r        = flag.Float64("r", 0.1, "radius for geometric")
+		seed     = flag.Int64("seed", 1, "random seed (batch: the first of -seeds consecutive seeds)")
+		format   = flag.String("format", "edges", "output: edges|spec|batch")
+		tasks    = flag.String("tasks", "awake-mis", "spec/batch: comma-separated task names (see awakemis -list)")
+		families = flag.String("families", "", `batch: comma-separated families, or "all" (default: the -graph family)`)
+		seeds    = flag.Int("seeds", 1, "batch: seed variants per family×task combo (seed, seed+1, ...)")
+		engine   = flag.String("engine", "", "spec/batch: engine option to embed (stepped|lockstep; empty = default)")
+		strict   = flag.Bool("strict", true, "spec/batch: enforce the CONGEST bandwidth bound")
 	)
 	flag.Parse()
 
-	g, err := awakemis.Generate(*family, awakemis.GenOptions{N: *n, P: *p, Degree: *d, Radius: *r, Seed: *seed})
+	switch *format {
+	case "edges":
+		emitEdges(*family, awakemis.GenOptions{N: *n, P: *p, Degree: *d, Radius: *r, Seed: *seed})
+	case "spec":
+		taskList := splitList(*tasks)
+		if len(taskList) != 1 {
+			fail(fmt.Errorf("-format spec emits one spec; got %d tasks (use -format batch)", len(taskList)))
+		}
+		spec := buildSpec(taskList[0], *family, *n, *p, *d, *r, *seed, *engine, *strict)
+		emitJSON(spec)
+	case "batch":
+		famList := splitList(*families)
+		if len(famList) == 0 {
+			famList = []string{*family}
+		} else if len(famList) == 1 && strings.EqualFold(famList[0], "all") {
+			famList = awakemis.Families()
+		}
+		taskList := splitList(*tasks)
+		if len(taskList) == 0 {
+			fail(fmt.Errorf("-format batch needs at least one task"))
+		}
+		if *seeds < 1 {
+			fail(fmt.Errorf("-seeds must be at least 1, got %d", *seeds))
+		}
+		var specs []awakemis.Spec
+		for _, fam := range famList {
+			for _, task := range taskList {
+				for i := range *seeds {
+					specs = append(specs, buildSpec(task, fam, *n, *p, *d, *r, *seed+int64(i), *engine, *strict))
+				}
+			}
+		}
+		emitJSON(specs)
+	default:
+		fail(fmt.Errorf("unknown -format %q (have edges|spec|batch)", *format))
+	}
+}
+
+// buildSpec assembles and validates one Spec; flag values that match
+// the family defaults are elided so the emitted JSON stays minimal.
+func buildSpec(task, family string, n int, p float64, d int, r float64, seed int64, engine string, strict bool) awakemis.Spec {
+	gs := awakemis.GraphSpec{Family: family, N: n}
+	switch strings.ToLower(family) {
+	case "gnp":
+		gs.P = p
+	case "regular", "powerlaw":
+		if d != 4 {
+			gs.Degree = d
+		}
+	case "geometric":
+		if r != 0.1 {
+			gs.Radius = r
+		}
+	}
+	spec := awakemis.Spec{
+		Name:  fmt.Sprintf("%s/%s/s%d", strings.ToLower(family), task, seed),
+		Task:  task,
+		Graph: gs,
+		Options: awakemis.Options{
+			Seed:   seed,
+			Engine: awakemis.Engine(engine),
+			Strict: strict,
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		fail(err)
+	}
+	return spec
+}
+
+// splitList parses a comma-separated flag into trimmed entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func emitEdges(family string, o awakemis.GenOptions) {
+	g, err := awakemis.Generate(family, o)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -38,4 +140,17 @@ func main() {
 	for _, e := range g.Edges() {
 		fmt.Fprintf(w, "%d %d\n", e[0], e[1])
 	}
+}
+
+func emitJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(string(data))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func val(size int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	return v
+}
+
+func TestCacheEvictionRespectsByteBudget(t *testing.T) {
+	c := newReportCache(100)
+	for i := range 10 {
+		c.put(fmt.Sprintf("h%d", i), val(30))
+		if c.bytes > 100 {
+			t.Fatalf("after insert %d: %d bytes exceeds the 100-byte budget", i, c.bytes)
+		}
+	}
+	// 10 × 30 bytes through a 100-byte budget: only the 3 newest fit.
+	if c.len() != 3 {
+		t.Errorf("entries = %d, want 3", c.len())
+	}
+	if c.bytes != 90 {
+		t.Errorf("bytes = %d, want 90", c.bytes)
+	}
+	if c.evicted != 7 {
+		t.Errorf("evicted = %d, want 7", c.evicted)
+	}
+	for i := range 7 {
+		if _, ok := c.get(fmt.Sprintf("h%d", i)); ok {
+			t.Errorf("h%d should have been evicted", i)
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("h%d", i)); !ok {
+			t.Errorf("h%d should have survived", i)
+		}
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newReportCache(90)
+	c.put("a", val(30))
+	c.put("b", val(30))
+	c.put("c", val(30))
+	// Touch "a": it becomes most recently used, so inserting "d"
+	// evicts "b" instead.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("d", val(30))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	for _, h := range []string{"a", "c", "d"} {
+		if _, ok := c.get(h); !ok {
+			t.Errorf("%s should have survived", h)
+		}
+	}
+}
+
+func TestCacheRejectsOversizedValue(t *testing.T) {
+	c := newReportCache(50)
+	c.put("small", val(20))
+	c.put("huge", val(51)) // bigger than the whole budget
+	if _, ok := c.get("huge"); ok {
+		t.Error("value larger than the budget should not be cached")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Error("oversized insert must not evict existing entries")
+	}
+	if c.bytes != 20 {
+		t.Errorf("bytes = %d, want 20", c.bytes)
+	}
+}
+
+func TestCacheOverwriteSameKey(t *testing.T) {
+	c := newReportCache(100)
+	c.put("k", val(40))
+	c.put("k", val(60))
+	if c.len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.len())
+	}
+	if c.bytes != 60 {
+		t.Errorf("bytes = %d, want 60", c.bytes)
+	}
+	got, ok := c.get("k")
+	if !ok || len(got) != 60 {
+		t.Errorf("get(k) = %d bytes, %v; want the 60-byte overwrite", len(got), ok)
+	}
+}

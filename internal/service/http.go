@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"awakemis"
+)
+
+// Sentinel errors the API layer maps to HTTP statuses; together with
+// awakemis.ErrInvalidSpec (400) they give callers of Submit/Cancel the
+// same discrimination the HTTP client gets.
+var (
+	// ErrUnavailable: the server is draining or the queue is full (503).
+	ErrUnavailable = errors.New("service unavailable")
+	// ErrNotFound: no such job (404).
+	ErrNotFound = errors.New("not found")
+	// ErrConflict: the job is already in a terminal state (409).
+	ErrConflict = errors.New("conflict")
+)
+
+// TaskInfo is the /v1/tasks wire view of one registry entry.
+type TaskInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Summary  string `json:"summary"`
+	IDScheme string `json:"id_scheme"`
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// writeError maps an error to its HTTP status: 400 for malformed
+// specs, 503 for drain/overload, 404/409 for job lookups, 500
+// otherwise.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, awakemis.ErrInvalidSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnavailable):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// handleSubmit is POST /v1/jobs: the body is one Spec. Responds 200
+// with a terminal job on a cache hit, 202 with a queued/running job
+// otherwise.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec awakemis.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding spec: %s", awakemis.ErrInvalidSpec, err))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if job.Status.terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+// handleGetJob is GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Lookup(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no job %s", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleCancelJob is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleTasks is GET /v1/tasks: the task registry.
+func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
+	tasks := awakemis.Tasks()
+	infos := make([]TaskInfo, len(tasks))
+	for i, t := range tasks {
+		infos[i] = TaskInfo{Name: t.Name, Kind: t.Kind, Summary: t.Summary, IDScheme: t.IDScheme}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleStats is GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// handleHealthz is GET /v1/healthz: 200 while serving, 503 while
+// draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,439 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"awakemis"
+)
+
+// Config sizes a Server. The zero value is usable; every field has a
+// production-minded default.
+type Config struct {
+	// Workers is the number of simulations in flight at once (0 means
+	// one per CPU, capped at 4 — simulations are themselves parallel).
+	Workers int
+	// SimWorkers is the total stepped-engine worker budget, divided
+	// evenly among the Workers slots (0 means one per CPU), mirroring
+	// Runner.Workers. Worker counts never change results.
+	SimWorkers int
+	// QueueSize bounds the pending-simulation queue; submissions that
+	// need a new simulation when the queue is full are rejected with
+	// 503 (0 means 256). Duplicate and cached submissions never take a
+	// queue slot.
+	QueueSize int
+	// CacheBytes is the report cache's byte budget (0 means 64 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// JobHistory caps how many finished jobs stay queryable; the oldest
+	// finished jobs are forgotten first (0 means 4096).
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = min(runtime.NumCPU(), 4)
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// JobStatus is a job's lifecycle state on the wire.
+type JobStatus string
+
+const (
+	// JobQueued: waiting for a worker (or attached to a queued
+	// duplicate's flight).
+	JobQueued JobStatus = "queued"
+	// JobRunning: its simulation is executing.
+	JobRunning JobStatus = "running"
+	// JobDone: the Report is available.
+	JobDone JobStatus = "done"
+	// JobFailed: the run errored; Error describes why.
+	JobFailed JobStatus = "failed"
+	// JobCanceled: the submitter canceled before completion.
+	JobCanceled JobStatus = "canceled"
+)
+
+// terminal reports whether the status is final.
+func (s JobStatus) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is the wire view of one submission. Spec is the canonical form
+// (defaults filled, seed resolved) and Hash its content address;
+// identical canonical specs share one simulation and one cache entry.
+type Job struct {
+	ID     string        `json:"id"`
+	Status JobStatus     `json:"status"`
+	Hash   string        `json:"hash"`
+	Spec   awakemis.Spec `json:"spec"`
+	// Cached reports that the job was served from the report cache
+	// without waiting on a simulation.
+	Cached bool `json:"cached,omitempty"`
+	// Error is set when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// Report holds the run's Report (the exact cached bytes — equal
+	// specs always receive bit-identical reports) when Status is "done".
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// job is a Job plus the server-side bookkeeping that never leaves the
+// process.
+type job struct {
+	Job
+	flight *flight
+}
+
+// flight is one in-flight (or queued) simulation shared by every job
+// whose spec hashes to the same content address — the singleflight
+// unit. All fields are guarded by Server.mu except spec/hash, which
+// are immutable.
+type flight struct {
+	hash string
+	spec awakemis.Spec
+	jobs []*job
+	// live counts attached jobs that have not been canceled; when it
+	// drops to zero the flight is abandoned (and its run, if started,
+	// canceled) — but one waiter's cancellation never aborts the run
+	// for the others.
+	live int
+	// cancel aborts the running simulation at its next round boundary
+	// (nil until a worker picks the flight up).
+	cancel context.CancelFunc
+	state  JobStatus // JobQueued until a worker starts it
+}
+
+// Stats is the /v1/stats payload: cache effectiveness, queue
+// pressure, and job accounting. EngineRuns counts simulations
+// actually started — the acceptance signal that cache hits and
+// coalesced duplicates never invoke an engine.
+type Stats struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Coalesced      int64 `json:"coalesced"`
+	EngineRuns     int64 `json:"engine_runs"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheBudget    int64 `json:"cache_budget_bytes"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	JobsSubmitted  int64 `json:"jobs_submitted"`
+	JobsCompleted  int64 `json:"jobs_completed"`
+	JobsFailed     int64 `json:"jobs_failed"`
+	JobsCanceled   int64 `json:"jobs_canceled"`
+	// QueueDepth is the number of flights waiting for a worker;
+	// InFlight counts distinct simulations queued or running.
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"inflight"`
+	Draining   bool `json:"draining"`
+}
+
+// Server is the awakemisd core: a bounded queue of deduplicated
+// simulation flights, a worker pool executing them through the public
+// facade with context cancellation, a content-addressed report cache
+// in front, and the HTTP API over all of it. Create with New, serve
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	perRun int // stepped-engine workers per simulation slot
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled on queue pushes and on drain
+	jobs      map[string]*job
+	doneOrder []string // finished job IDs, oldest first (history cap)
+	inflight  map[string]*flight
+	// queue holds flights waiting for a worker, oldest first. A slice
+	// under mu (not a channel) so canceling every waiter of a queued
+	// flight can remove it immediately — abandoned flights neither
+	// occupy bounded-queue capacity nor reach a worker.
+	queue    []*flight
+	cache    *reportCache
+	stats    Stats
+	draining bool
+	seq      int
+
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+	wg         sync.WaitGroup
+	mux        *http.ServeMux
+}
+
+// New starts a Server: its workers run until Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		perRun:   max(1, cfg.SimWorkers/cfg.Workers),
+		jobs:     map[string]*job{},
+		inflight: map[string]*flight{},
+		cache:    newReportCache(cfg.CacheBytes),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	for range cfg.Workers {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new submissions are rejected, queued
+// and running simulations finish, then the workers exit. If ctx
+// expires first, in-flight simulations are canceled at their next
+// round boundary (their jobs fail) and Shutdown returns ctx.Err()
+// after the workers stop. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.draining = true
+	s.stats.Draining = true
+	s.cond.Broadcast() // workers finish the queue, then exit
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRuns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Submit enqueues a spec and returns its job: served from cache
+// (terminal, Cached), attached to an identical in-flight simulation,
+// or queued as a new flight. The error is ErrInvalidSpec-wrapping for
+// malformed specs and ErrUnavailable-wrapping when draining or full.
+func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	canonical := Canonicalize(spec)
+	hash, err := hashCanonical(canonical)
+	if err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Job{}, fmt.Errorf("%w: server is draining", ErrUnavailable)
+	}
+	s.seq++
+	j := &job{Job: Job{
+		ID:     fmt.Sprintf("j-%06d", s.seq),
+		Hash:   hash,
+		Spec:   canonical,
+		Status: JobQueued,
+	}}
+
+	if data, ok := s.cache.get(hash); ok {
+		s.stats.JobsSubmitted++
+		s.stats.CacheHits++
+		s.stats.JobsCompleted++
+		j.Status = JobDone
+		j.Cached = true
+		j.Report = data
+		s.jobs[j.ID] = j
+		s.finishLocked(j)
+		return j.Job, nil
+	}
+	if f, ok := s.inflight[hash]; ok {
+		s.stats.JobsSubmitted++
+		s.stats.Coalesced++
+		j.flight = f
+		j.Status = f.state
+		f.jobs = append(f.jobs, j)
+		f.live++
+		s.jobs[j.ID] = j
+		return j.Job, nil
+	}
+	if len(s.queue) >= s.cfg.QueueSize {
+		return Job{}, fmt.Errorf("%w: job queue is full (%d pending)", ErrUnavailable, s.cfg.QueueSize)
+	}
+	s.stats.JobsSubmitted++
+	s.stats.CacheMisses++
+	f := &flight{hash: hash, spec: canonical, jobs: []*job{j}, live: 1, state: JobQueued}
+	j.flight = f
+	s.inflight[hash] = f
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, f)
+	s.cond.Signal()
+	return j.Job, nil
+}
+
+// Lookup returns the job's current wire view.
+func (s *Server) Lookup(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// Cancel marks the job canceled. The shared simulation keeps running
+// as long as any duplicate submitter still wants it; only when the
+// last live job cancels is the run itself aborted (or the queued
+// flight abandoned). Canceling a finished job returns ErrConflict.
+func (s *Server) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: no job %s", ErrNotFound, id)
+	}
+	if j.Status.terminal() {
+		return j.Job, fmt.Errorf("%w: job %s already %s", ErrConflict, id, j.Status)
+	}
+	f := j.flight // finishLocked clears the pointer
+	j.Status = JobCanceled
+	s.stats.JobsCanceled++
+	s.finishLocked(j)
+	if f != nil {
+		f.live--
+		if f.live == 0 {
+			// Last waiter gone: abandon the flight. Remove it from the
+			// dedup index first so a new identical submission starts
+			// fresh instead of attaching to a dying run, then free its
+			// queue slot (if still queued) or abort its run.
+			if s.inflight[f.hash] == f {
+				delete(s.inflight, f.hash)
+			}
+			for i, queued := range s.queue {
+				if queued == f {
+					s.queue = append(s.queue[:i], s.queue[i+1:]...)
+					break
+				}
+			}
+			if f.cancel != nil {
+				f.cancel()
+			}
+		}
+	}
+	return j.Job, nil
+}
+
+// StatsSnapshot returns current counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CacheEntries = s.cache.len()
+	st.CacheBytes = s.cache.bytes
+	st.CacheBudget = s.cache.budget
+	st.CacheEvictions = s.cache.evicted
+	st.QueueDepth = len(s.queue)
+	st.InFlight = len(s.inflight)
+	st.Draining = s.draining
+	return st
+}
+
+// worker executes queued flights until drain completes: on Shutdown
+// it finishes whatever is still queued, then exits. Flights in the
+// queue always have at least one live job — Cancel removes fully
+// abandoned flights under the same lock.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			return // draining and nothing left
+		}
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		f.cancel = cancel
+		f.state = JobRunning
+		for _, j := range f.jobs {
+			if j.Status == JobQueued {
+				j.Status = JobRunning
+			}
+		}
+		s.stats.EngineRuns++
+		s.mu.Unlock()
+
+		rep, err := awakemis.RunSpecWorkers(ctx, f.spec, s.perRun)
+		cancel()
+		var data []byte
+		if err == nil {
+			data, err = json.Marshal(rep)
+		}
+
+		s.mu.Lock()
+		if s.inflight[f.hash] == f {
+			delete(s.inflight, f.hash)
+		}
+		for _, j := range f.jobs {
+			if j.Status.terminal() {
+				continue // canceled waiters keep their cancellation
+			}
+			if err != nil {
+				j.Status = JobFailed
+				j.Error = err.Error()
+				s.stats.JobsFailed++
+			} else {
+				j.Status = JobDone
+				j.Report = data
+				s.stats.JobsCompleted++
+			}
+			s.finishLocked(j)
+		}
+		if err == nil {
+			s.cache.put(f.hash, data)
+		}
+	}
+}
+
+// finishLocked records a job reaching a terminal state and enforces
+// the finished-job history cap. Callers hold s.mu.
+func (s *Server) finishLocked(j *job) {
+	j.flight = nil
+	s.doneOrder = append(s.doneOrder, j.ID)
+	for len(s.doneOrder) > s.cfg.JobHistory {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}

@@ -68,9 +68,26 @@ func RunSpecContext(ctx context.Context, spec Spec) (*Report, error) {
 	return runSpec(ctx, spec, spec.Options.Workers)
 }
 
+// RunSpecWorkers is RunSpecContext with an explicit stepped-engine
+// worker-pool size that overrides Options.Workers without being
+// recorded in the Report — the caller's share of a machine-wide
+// budget. The Runner and the service daemon use it to divide one
+// budget among concurrent runs while keeping reports bit-identical to
+// standalone RunSpec calls (worker counts never change results).
+// workers == 0 falls back to Options.Workers.
+func RunSpecWorkers(ctx context.Context, spec Spec, workers int) (*Report, error) {
+	if workers == 0 {
+		workers = spec.Options.Workers
+	}
+	return runSpec(ctx, spec, workers)
+}
+
 // runSpec runs one spec with an explicit worker-pool size (the
 // Runner's share of its budget; never recorded in the Report).
 func runSpec(ctx context.Context, spec Spec, workers int) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	g, err := spec.Graph.build(spec.Options.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("awakemis: spec %s: %w", spec.label(), err)
