@@ -15,9 +15,12 @@ import (
 	"testing"
 
 	"awakemis"
+	"awakemis/internal/core"
 	"awakemis/internal/graph"
+	"awakemis/internal/ldtmis"
 	"awakemis/internal/luby"
 	"awakemis/internal/naive"
+	rng2 "awakemis/internal/rng"
 	"awakemis/internal/sim"
 	"awakemis/internal/vtcolor"
 	"awakemis/internal/vtmatch"
@@ -104,7 +107,9 @@ func TestColoringMatchingIdenticalAcrossEngines(t *testing.T) {
 
 // TestStepPortsMatchGoroutineOriginals runs each natively ported
 // algorithm in both program forms on both engines and demands identical
-// outputs and metrics — the port-faithfulness check.
+// outputs and metrics — the port-faithfulness check. Since PR 4 this
+// covers all eight algorithms: the awake-mis (core) and ldt-mis ports
+// exercise the resumable ldt.SProc tree machinery.
 func TestStepPortsMatchGoroutineOriginals(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	g := graph.GNP(70, 0.07, rng)
@@ -116,6 +121,22 @@ func TestStepPortsMatchGoroutineOriginals(t *testing.T) {
 	edgeIDs := vtmatch.EdgeIDs{}
 	for i, e := range g.Edges() {
 		edgeIDs[e] = i + 1
+	}
+
+	// awake-mis / ldt-mis inputs: the schedule every node derives
+	// locally, and distinct big-space IDs with the component bound.
+	baseCfg := sim.Config{Seed: 31, Strict: true}
+	params := core.Params{}.WithDefaults(n)
+	sched := core.NewSchedule(n, params, sim.DefaultBandwidth(n))
+	bigCfg := baseCfg
+	bigCfg.N = 1 << 16
+	bigCfg.Bandwidth = sim.DefaultBandwidth(1 << 40)
+	bigIDs := rng2.IDs40(n, 42)
+	np := 1
+	for _, c := range g.Components() {
+		if len(c) > np {
+			np = len(c)
+		}
 	}
 
 	type variant struct {
@@ -185,20 +206,56 @@ func TestStepPortsMatchGoroutineOriginals(t *testing.T) {
 				prog: func(o any) sim.NodeProgram { return vtmatch.StepProgram(o.(*vtmatch.Result), g, edgeIDs) },
 			},
 		},
+		"awake-mis": {
+			"goroutine": {
+				out: func() any { return &core.Result{InMIS: make([]bool, n), Batch: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram {
+					return core.Program(o.(*core.Result), sched, params, n)
+				},
+			},
+			"step": {
+				out: func() any { return &core.Result{InMIS: make([]bool, n), Batch: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram {
+					return core.StepProgram(o.(*core.Result), sched, params, n)
+				},
+			},
+		},
+		"ldt-mis": {
+			"goroutine": {
+				out: func() any { return &ldtmis.Result{InMIS: make([]bool, n), NewID: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram {
+					return ldtmis.Program(o.(*ldtmis.Result), bigIDs, np, ldtmis.VariantAwake)
+				},
+			},
+			"step": {
+				out: func() any { return &ldtmis.Result{InMIS: make([]bool, n), NewID: make([]int, n)} },
+				prog: func(o any) sim.NodeProgram {
+					return ldtmis.StepProgram(o.(*ldtmis.Result), bigIDs, np, ldtmis.VariantAwake)
+				},
+			},
+		},
 	}
+	// ldt-mis ships 40-bit IDs in its control messages; its CONGEST
+	// budget scales with log I like the task shim's.
+	cfgs := map[string]sim.Config{"ldt-mis": bigCfg}
 
 	engines := map[string]sim.Engine{
-		"lockstep": sim.NewLockstepEngine(),
-		"stepped":  sim.NewSteppedEngine(4),
+		"lockstep":  sim.NewLockstepEngine(),
+		"stepped-1": sim.NewSteppedEngine(1),
+		"stepped-4": sim.NewSteppedEngine(4),
 	}
 	for algo, forms := range cases {
 		t.Run(algo, func(t *testing.T) {
+			cfg, ok := cfgs[algo]
+			if !ok {
+				cfg = baseCfg
+			}
 			var refOut any
 			var refMetrics *sim.Metrics
 			for fname, form := range forms {
 				for ename, eng := range engines {
 					out := form.out()
-					m, err := eng.Run(context.Background(), g, form.prog(out), sim.Config{Seed: 31, Strict: true})
+					m, err := eng.Run(context.Background(), g, form.prog(out), cfg)
 					if err != nil {
 						t.Fatalf("%s/%s: %v", fname, ename, err)
 					}

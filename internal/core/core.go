@@ -160,7 +160,8 @@ type Result struct {
 	Batch []int
 }
 
-// Program returns the per-node Awake-MIS program.
+// Program returns the per-node Awake-MIS program in goroutine form:
+// the cross-form oracle (Run executes the step form natively).
 func Program(res *Result, sched *Schedule, params Params, n int) sim.Program {
 	params = params.WithDefaults(n)
 	return func(ctx *sim.Ctx) {
@@ -221,7 +222,7 @@ func RunContext(ctx context.Context, g *graph.Graph, params Params, cfg sim.Conf
 	params = params.WithDefaults(n)
 	sched := NewSchedule(n, params, cfg.Bandwidth)
 	res := &Result{InMIS: make([]bool, g.N()), Batch: make([]int, g.N())}
-	m, err := sim.RunContext(ctx, g, Program(res, sched, params, n), cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, sched, params, n), cfg)
 	if err != nil {
 		return nil, m, fmt.Errorf("core: %w", err)
 	}

@@ -217,12 +217,7 @@ func (p *Proc) constructRoundPhase() {
 			mutual = []int64{nbrRoot[parentEdgePort]}
 		}
 	}
-	aggMut, _ := p.upcast(mutual, func(acc, in []int64) []int64 {
-		if acc == nil {
-			return in
-		}
-		return acc
-	})
+	aggMut, _ := p.upcast(mutual, mergeFirst)
 	var tFlag []int64
 	if p.IsRoot() {
 		isTRoot := int64(0)
@@ -241,7 +236,7 @@ func (p *Proc) constructRoundPhase() {
 	// the parent fragment's color, root computes the next color.
 	color := p.rootID
 	colorStep := func(compute func(cur, parentColor, childColor int64) int64) {
-		cur := p.downcast(colorValIfRoot(p, color), nil)
+		cur := p.downcast(colorValIfRoot(&p.treeState, color), nil)
 		if cur != nil {
 			color = cur[0]
 		}
@@ -259,19 +254,7 @@ func (p *Proc) constructRoundPhase() {
 			}
 		}
 		own := []int64{encOpt(parentColor), encOpt(childColor)}
-		aggC, _ := p.upcast(own, func(acc, in []int64) []int64 {
-			if acc == nil {
-				return in
-			}
-			out := []int64{acc[0], acc[1]}
-			if out[0] < 0 {
-				out[0] = in[0]
-			}
-			if out[1] < 0 {
-				out[1] = in[1]
-			}
-			return out
-		})
+		aggC, _ := p.upcast(own, mergeOptPair)
 		if p.IsRoot() {
 			pc, cc := int64(-1), int64(-1)
 			if aggC != nil {
@@ -309,7 +292,7 @@ func (p *Proc) constructRoundPhase() {
 		})
 	}
 	// Distribute the final color.
-	if fin := p.downcast(colorValIfRoot(p, color), nil); fin != nil {
+	if fin := p.downcast(colorValIfRoot(&p.treeState, color), nil); fin != nil {
 		color = fin[0]
 	}
 
@@ -392,12 +375,7 @@ func (p *Proc) constructRoundPhase() {
 		if justMatched >= 0 {
 			up = []int64{1}
 		}
-		aggJ, _ := p.upcast(up, func(acc, in []int64) []int64 {
-			if acc == nil {
-				return in
-			}
-			return acc
-		})
+		aggJ, _ := p.upcast(up, mergeFirst)
 		if p.IsRoot() && aggJ != nil {
 			matched = true
 		}
@@ -479,12 +457,7 @@ func (p *Proc) constructRoundPhase() {
 		if best < coreID {
 			up = []int64{best}
 		}
-		aggM, _ := p.upcast(up, func(acc, in []int64) []int64 {
-			if acc == nil || (in != nil && in[0] < acc[0]) {
-				return in
-			}
-			return acc
-		})
+		aggM, _ := p.upcast(up, mergeMinVal)
 		var dn []int64
 		if p.IsRoot() {
 			c := coreID
@@ -558,11 +531,43 @@ func (p *Proc) adjacentTargeted(port int, payload []int64) []int {
 	return got
 }
 
-func colorValIfRoot(p *Proc, color int64) []int64 {
-	if p.IsRoot() {
+func colorValIfRoot(t *treeState, color int64) []int64 {
+	if t.IsRoot() {
 		return []int64{color}
 	}
 	return nil
+}
+
+// mergeFirst keeps the first non-nil upcast value.
+func mergeFirst(acc, in []int64) []int64 {
+	if acc == nil {
+		return in
+	}
+	return acc
+}
+
+// mergeOptPair folds the (parent-color, child-color) optional pairs of
+// the Cole–Vishkin color step, -1 encoding "absent".
+func mergeOptPair(acc, in []int64) []int64 {
+	if acc == nil {
+		return in
+	}
+	out := []int64{acc[0], acc[1]}
+	if out[0] < 0 {
+		out[0] = in[0]
+	}
+	if out[1] < 0 {
+		out[1] = in[1]
+	}
+	return out
+}
+
+// mergeMinVal keeps the minimum single upcast value.
+func mergeMinVal(acc, in []int64) []int64 {
+	if acc == nil || (in != nil && in[0] < acc[0]) {
+		return in
+	}
+	return acc
 }
 
 // encOpt encodes an optional single-value slice as -1 for absent.

@@ -77,16 +77,15 @@ var (
 	_ sim.Message = chunkMsg{}
 )
 
-// Proc is a node's participation in one LDT session over a connected
-// participant set of at most np nodes. All participants must construct
-// their Proc with the same base round and np; the window cursor then
-// advances identically everywhere, which is what synchronizes the
-// schedule without communication.
-type Proc struct {
-	ctx *sim.Ctx
-	np  int
-	cur int64 // next unallocated sim round
-	id  int64 // unique node ID in [1, I]
+// treeState is the pure (communication-free) half of a node's LDT
+// session: identity, discovered topology, and the oriented labeled
+// tree. It is shared verbatim by the two procedural forms — the
+// goroutine-form Proc and the step-form SProc — so the tree-mutation
+// logic (relabeling, child bookkeeping, edge selection) exists exactly
+// once and both forms stay bit-identical by construction.
+type treeState struct {
+	np int
+	id int64 // unique node ID in [1, I]
 
 	// Topology discovered by Hello.
 	active []int         // ports to participants, ascending
@@ -99,16 +98,12 @@ type Proc struct {
 	children   []int // ports, ascending
 }
 
-// NewProc prepares an LDT session starting at sim round base. The
-// caller must currently be in an awake round strictly before base.
-func NewProc(ctx *sim.Ctx, base int64, id int64, np int) *Proc {
+func newTreeState(id int64, np int) treeState {
 	if np < 1 {
 		panic(fmt.Sprintf("ldt: np=%d", np))
 	}
-	return &Proc{
-		ctx:        ctx,
+	return treeState{
 		np:         np,
-		cur:        base,
 		id:         id,
 		nbrID:      map[int]int64{},
 		rootID:     id,
@@ -116,23 +111,44 @@ func NewProc(ctx *sim.Ctx, base int64, id int64, np int) *Proc {
 	}
 }
 
-// Cursor returns the first sim round not consumed by the session so far.
-func (p *Proc) Cursor() int64 { return p.cur }
-
 // ID returns the node's ID.
-func (p *Proc) ID() int64 { return p.id }
+func (t *treeState) ID() int64 { return t.id }
 
 // RootID returns the LDT identifier (the root's node ID).
-func (p *Proc) RootID() int64 { return p.rootID }
+func (t *treeState) RootID() int64 { return t.rootID }
 
 // Depth returns the node's depth in the LDT.
-func (p *Proc) Depth() int { return p.depth }
+func (t *treeState) Depth() int { return t.depth }
 
 // IsRoot reports whether this node is the LDT root.
-func (p *Proc) IsRoot() bool { return p.parentPort < 0 }
+func (t *treeState) IsRoot() bool { return t.parentPort < 0 }
 
 // Active returns the ports leading to participating neighbors.
-func (p *Proc) Active() []int { return p.active }
+func (t *treeState) Active() []int { return t.active }
+
+// Proc is a node's participation in one LDT session over a connected
+// participant set of at most np nodes, in goroutine form. All
+// participants must construct their Proc with the same base round and
+// np; the window cursor then advances identically everywhere, which is
+// what synchronizes the schedule without communication.
+type Proc struct {
+	treeState
+	ctx *sim.Ctx
+	cur int64 // next unallocated sim round
+}
+
+// NewProc prepares an LDT session starting at sim round base. The
+// caller must currently be in an awake round strictly before base.
+func NewProc(ctx *sim.Ctx, base int64, id int64, np int) *Proc {
+	return &Proc{
+		treeState: newTreeState(id, np),
+		ctx:       ctx,
+		cur:       base,
+	}
+}
+
+// Cursor returns the first sim round not consumed by the session so far.
+func (p *Proc) Cursor() int64 { return p.cur }
 
 // wake ends the current round and wakes at sim round r (r must exceed
 // the current round, which the monotone window allocation guarantees).
@@ -318,7 +334,7 @@ func (p *Proc) downRelabel(pend *pending) *pending {
 // orientation — the wave's child becomes the parent and the old parent
 // becomes a child; the attachment initiator keeps its prepared external
 // parent and gains its old parent as a child.
-func (p *Proc) applyPending(pend *pending, oldParent int) {
+func (p *treeState) applyPending(pend *pending, oldParent int) {
 	if pend == nil {
 		return
 	}
@@ -340,7 +356,7 @@ func (p *Proc) applyPending(pend *pending, oldParent int) {
 	// Non-path nodes (viaChild < 0, parent unchanged) keep orientation.
 }
 
-func (p *Proc) addChild(q int) {
+func (p *treeState) addChild(q int) {
 	for i, c := range p.children {
 		if c == q {
 			return
@@ -352,7 +368,7 @@ func (p *Proc) addChild(q int) {
 	p.children = append(p.children, q)
 }
 
-func (p *Proc) removeChild(q int) {
+func (p *treeState) removeChild(q int) {
 	for i, c := range p.children {
 		if c == q {
 			p.children = append(p.children[:i], p.children[i+1:]...)
@@ -363,7 +379,7 @@ func (p *Proc) removeChild(q int) {
 
 // minEdge returns the node's minimum incident outgoing edge as
 // (lo, hi) with respect to current fragment IDs, or nil if none.
-func (p *Proc) minEdge(nbrRoot map[int]int64) []int64 {
+func (p *treeState) minEdge(nbrRoot map[int]int64) []int64 {
 	var best []int64
 	for _, q := range p.active {
 		r, ok := nbrRoot[q]
@@ -383,7 +399,7 @@ func (p *Proc) minEdge(nbrRoot map[int]int64) []int64 {
 
 // edgePort returns the active port realizing edge (lo, hi) incident to
 // this node, or -1.
-func (p *Proc) edgePort(lo, hi int64) int {
+func (p *treeState) edgePort(lo, hi int64) int {
 	other := int64(-1)
 	switch p.id {
 	case lo:

@@ -70,38 +70,56 @@ func SpanBroadcastChunks(np, numChunks int) int64 {
 	return int64(numChunks) * spanWindow(np)
 }
 
+// bitAccum reassembles a bit stream delivered in chunks, zero-padded
+// to whole bytes. The pure half of BroadcastChunks, shared verbatim by
+// the goroutine and step forms (bit-identity depends on both packing
+// identically).
+type bitAccum struct {
+	out  []byte
+	bits int
+}
+
+func newBitAccum(payloadBits int) *bitAccum {
+	return &bitAccum{out: make([]byte, 0, (payloadBits+7)/8)}
+}
+
+func (a *bitAccum) append(data []byte, nbits int) {
+	for i := 0; i < nbits; i++ {
+		bit := (data[i/8] >> (7 - uint(i%8))) & 1
+		if a.bits%8 == 0 {
+			a.out = append(a.out, 0)
+		}
+		a.out[len(a.out)-1] |= bit << (7 - uint(a.bits%8))
+		a.bits++
+	}
+}
+
+// rootChunk cuts the root's c-th chunk out of the payload ("null"
+// filler per §5.3 once the payload is exhausted). Shared by both forms.
+func rootChunk(payload []byte, c, chunkBits, payloadBits int) *chunkMsg {
+	lo := c * chunkBits
+	hi := lo + chunkBits
+	if hi > payloadBits {
+		hi = payloadBits
+	}
+	if lo < hi {
+		return &chunkMsg{Data: sliceBits(payload, lo, hi), NBits: hi - lo}
+	}
+	return &chunkMsg{NBits: 0}
+}
+
 // BroadcastChunks ships a root payload of payloadBits bits to every
 // node in numChunks downcast windows of chunkBits bits each. The root
 // supplies the payload; every node returns the reassembled payload
 // bytes (zero-padded to whole bytes).
 func (p *Proc) BroadcastChunks(payload []byte, payloadBits, chunkBits, numChunks int) []byte {
-	out := make([]byte, 0, (payloadBits+7)/8)
-	outBits := 0
-	appendBits := func(data []byte, nbits int) {
-		for i := 0; i < nbits; i++ {
-			bit := (data[i/8] >> (7 - uint(i%8))) & 1
-			if outBits%8 == 0 {
-				out = append(out, 0)
-			}
-			out[len(out)-1] |= bit << (7 - uint(outBits%8))
-			outBits++
-		}
-	}
+	acc := newBitAccum(payloadBits)
 	for c := 0; c < numChunks; c++ {
 		w := p.cur
 		p.cur += spanWindow(p.np)
 		var mine *chunkMsg
 		if p.IsRoot() {
-			lo := c * chunkBits
-			hi := lo + chunkBits
-			if hi > payloadBits {
-				hi = payloadBits
-			}
-			if lo < hi {
-				mine = &chunkMsg{Data: sliceBits(payload, lo, hi), NBits: hi - lo}
-			} else {
-				mine = &chunkMsg{NBits: 0} // "null" filler per §5.3
-			}
+			mine = rootChunk(payload, c, chunkBits, payloadBits)
 		} else {
 			p.wake(w + int64(p.depth-1))
 			for _, m := range p.ctx.Deliver() {
@@ -119,10 +137,10 @@ func (p *Proc) BroadcastChunks(payload []byte, payloadBits, chunkBits, numChunks
 			p.ctx.Deliver()
 		}
 		if mine != nil && mine.NBits > 0 {
-			appendBits(mine.Data, mine.NBits)
+			acc.append(mine.Data, mine.NBits)
 		}
 	}
-	return out
+	return acc.out
 }
 
 // sliceBits extracts bits [lo, hi) of data into a fresh byte slice.

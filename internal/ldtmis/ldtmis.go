@@ -10,16 +10,18 @@
 // broadcasts; (4) each node adopts the permutation entry at its rank as
 // a fresh small ID and runs VT-MIS with those IDs.
 //
-// The node program stays in goroutine form: the LDT tree procedures are
-// deeply sequential (construction phases, upcast/downcast windows,
-// chunked broadcasts), so on the stepped engine it runs through the
-// engine's coroutine adapter — bit-identical with lockstep, as the
-// cross-engine tests assert.
+// The node program exists in two bit-identical forms: the goroutine
+// form (RunSub / Program, the reference semantics) and the native
+// step-machine form (RunSubStep / StepProgram, built on internal/ldt's
+// resumable SProc ops), which the stepped engine executes inline with
+// no per-node goroutine. Run uses the step form; the goroutine form is
+// kept as the cross-form oracle the equivalence tests check against.
 package ldtmis
 
 import (
 	"context"
 	"fmt"
+	"math/rand"
 
 	"awakemis/internal/bitio"
 	"awakemis/internal/graph"
@@ -59,6 +61,39 @@ func constructPhases(v Variant, np int) int {
 
 // permWidth is the fixed bit width of one permutation entry.
 func permWidth(np int) int { return bitio.UintBits(uint64(np)) }
+
+// buildPermPayload is the root's side of the permutation shipment: a
+// uniformly random permutation of [1, total], each entry in width
+// bits, null-filled to payloadBits per §5.3. Pure (no wake points) and
+// shared verbatim by the goroutine and step forms — the bit-identity
+// contract depends on both forms encoding identically.
+func buildPermPayload(rnd *rand.Rand, total, width, payloadBits int) []byte {
+	perm := rnd.Perm(total)
+	var w bitio.Writer
+	for _, v := range perm {
+		w.WriteUint(uint64(v+1), width)
+	}
+	for w.Len() < payloadBits {
+		w.WriteUint(0, 1) // null filler per §5.3
+	}
+	return w.Bytes()
+}
+
+// decodeNewID extracts the rank-th width-bit permutation entry from
+// the reassembled payload: the node's new small ID. Shared by both
+// forms, like buildPermPayload.
+func decodeNewID(data []byte, rank, width int) int {
+	r := bitio.NewReader(data)
+	newID := 0
+	for i := 0; i < rank; i++ {
+		u, err := r.ReadUint(width)
+		if err != nil {
+			panic(fmt.Sprintf("ldtmis: permutation decode: %v", err))
+		}
+		newID = int(u)
+	}
+	return newID
+}
 
 // permChunks returns the chunk geometry for shipping an np-entry
 // permutation under the given bandwidth.
@@ -111,27 +146,10 @@ func RunSub(ctx *sim.Ctx, base int64, id int64, np int, v Variant, state *mispro
 	width := permWidth(np)
 	var payload []byte
 	if p.IsRoot() {
-		perm := ctx.Rand().Perm(total)
-		var w bitio.Writer
-		for _, v := range perm {
-			w.WriteUint(uint64(v+1), width)
-		}
-		for w.Len() < payloadBits {
-			w.WriteUint(0, 1) // null filler per §5.3
-		}
-		payload = w.Bytes()
+		payload = buildPermPayload(ctx.Rand(), total, width, payloadBits)
 	}
 	data := p.BroadcastChunks(payload, payloadBits, chunkBits, numChunks)
-
-	r := bitio.NewReader(data)
-	newID := 0
-	for i := 0; i < rank; i++ {
-		u, err := r.ReadUint(width)
-		if err != nil {
-			panic(fmt.Sprintf("ldtmis: permutation decode: %v", err))
-		}
-		newID = int(u)
-	}
+	newID := decodeNewID(data, rank, width)
 
 	vtmis.RunSub(ctx, p.Cursor(), newID, np, state, p.Active())
 	return newID
@@ -146,6 +164,16 @@ type Result struct {
 	NewID []int
 }
 
+// Program returns the standalone per-node program in goroutine form:
+// the cross-form oracle (Run executes the step form natively).
+func Program(res *Result, ids []int64, np int, v Variant) sim.Program {
+	return func(sctx *sim.Ctx) {
+		state := misproto.Undecided
+		res.NewID[sctx.Node()] = RunSub(sctx, 1, ids[sctx.Node()], np, v, &state)
+		res.InMIS[sctx.Node()] = state == misproto.InMIS
+	}
+}
+
 // Run executes standalone LDT-MIS on g: every node participates, with
 // the provided unique IDs (from an arbitrarily large space) and a
 // common component-size bound np ≥ the largest component of g.
@@ -154,7 +182,8 @@ func Run(g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Resul
 }
 
 // RunContext is Run under a context; cancellation aborts the
-// simulation at the next round boundary.
+// simulation at the next round boundary. It runs the native step form,
+// which the stepped engine executes without the goroutine adapter.
 func RunContext(ctx context.Context, g *graph.Graph, ids []int64, np int, v Variant, cfg sim.Config) (*Result, *sim.Metrics, error) {
 	if len(ids) != g.N() {
 		return nil, nil, fmt.Errorf("ldtmis: %d ids for %d nodes", len(ids), g.N())
@@ -167,11 +196,6 @@ func RunContext(ctx context.Context, g *graph.Graph, ids []int64, np int, v Vari
 		seen[id] = true
 	}
 	res := &Result{InMIS: make([]bool, g.N()), NewID: make([]int, g.N())}
-	prog := func(sctx *sim.Ctx) {
-		state := misproto.Undecided
-		res.NewID[sctx.Node()] = RunSub(sctx, 1, ids[sctx.Node()], np, v, &state)
-		res.InMIS[sctx.Node()] = state == misproto.InMIS
-	}
-	m, err := sim.RunContext(ctx, g, prog, cfg)
+	m, err := sim.RunStepContext(ctx, g, StepProgram(res, ids, np, v), cfg)
 	return res, m, err
 }

@@ -37,7 +37,13 @@ func (a *goroutineAdapter) stepProgram() StepProgram {
 }
 
 // shutdown aborts any still-running program goroutines and waits for
-// them to exit.
+// them to exit. It is called (deferred) after the engine's run loop
+// returns — normally, on context cancellation, or on a node failure —
+// at which point no OnWake call is in flight and every live program
+// goroutine is parked in a select that includes quit: closing it
+// unwinds each program via quitSignal, so Wait cannot hang and no
+// per-node goroutine outlives the run (asserted by the leak test in
+// cancel_test.go).
 func (a *goroutineAdapter) shutdown() {
 	close(a.quit)
 	a.wg.Wait()
@@ -114,17 +120,29 @@ func (n *gnode) OnWake(round int64, inbox []Inbound, out *Outbox) (int64, bool) 
 }
 
 // pump drains program yields until the node has staged the sends for
-// its next awake round (returning its wake time) or halted.
+// its next awake round (returning its wake time) or halted. The quit
+// alternatives are defensive: pump only runs inside Start/OnWake, which
+// never overlap shutdown today, but the handshake must not deadlock if
+// that ordering ever changes.
 func (n *gnode) pump(out *Outbox) (int64, bool) {
 	for {
-		y := <-n.yield
+		var y gyield
+		select {
+		case y = <-n.yield:
+		case <-n.a.quit:
+			return 0, true
+		}
 		switch y.kind {
 		case ySends:
 			out.msgs = append(out.msgs, y.sends...) // validated by Ctx.Send
 			return n.next, false
 		case yEnd:
 			n.next = y.next
-			n.resume <- gresume{round: y.next}
+			select {
+			case n.resume <- gresume{round: y.next}:
+			case <-n.a.quit:
+				return 0, true
+			}
 		case yDone:
 			return 0, true
 		default: // yErr

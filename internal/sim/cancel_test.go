@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -102,6 +103,76 @@ func TestPreCancelledContextRunsNothing(t *testing.T) {
 		if m != nil && m.ExecutedRounds > 0 {
 			t.Errorf("%s: executed %d rounds under a dead context", ename, m.ExecutedRounds)
 		}
+	}
+}
+
+// panicAtRoundProgram panics on every node once the given round is
+// reached — a mid-run abort that exercises the engines' failure path.
+func panicAtRoundProgram(r int64) Program {
+	return func(ctx *Ctx) {
+		for {
+			if ctx.Round() >= r {
+				panic("boom")
+			}
+			ctx.Advance()
+		}
+	}
+}
+
+// TestAbortedRunsLeakNoGoroutines pins down goroutineAdapter.shutdown
+// (and the lockstep engine's equivalent): every way a run can abort
+// mid-round — context cancellation, deadline, per-node panic, the
+// MaxRounds backstop — must join all per-node program goroutines before
+// Run returns. A leak of even one node per run compounds quickly under
+// the service daemon's batch traffic, so the test drives many aborted
+// runs and requires the goroutine count to settle back to baseline.
+func TestAbortedRunsLeakNoGoroutines(t *testing.T) {
+	g := graph.Cycle(96)
+	engines := cancelEngines()
+	baseline := runtime.NumGoroutine()
+
+	for ename, eng := range engines {
+		for i := 0; i < 5; i++ {
+			// Context cancelled mid-round: per-node goroutines are parked in
+			// the adapter/backend handshake when quit closes.
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(time.Millisecond)
+				cancel()
+			}()
+			if _, err := eng.Run(ctx, g, spinGoroutineProgram(), Config{Seed: int64(i)}); err == nil {
+				t.Fatalf("%s: cancelled run reported success", ename)
+			}
+			cancel()
+
+			// Per-node panic mid-round.
+			if _, err := eng.Run(context.Background(), g, panicAtRoundProgram(50), Config{Seed: int64(i)}); err == nil {
+				t.Fatalf("%s: panicking run reported success", ename)
+			}
+
+			// MaxRounds backstop.
+			if _, err := eng.Run(context.Background(), g, spinGoroutineProgram(), Config{Seed: int64(i), MaxRounds: 64}); !errors.Is(err, ErrMaxRounds) {
+				t.Fatalf("%s: err = %v, want ErrMaxRounds", ename, err)
+			}
+		}
+	}
+
+	// Shutdown joins synchronously, but give the runtime a moment to
+	// retire exiting goroutines before declaring a leak.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: baseline %d, now %d after aborted runs; stacks:\n%s",
+				baseline, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

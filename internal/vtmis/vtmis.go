@@ -69,6 +69,50 @@ func RunSub(ctx *sim.Ctx, base int64, id, idBound int, state *misproto.State, po
 	}
 }
 
+// RunSubStep is RunSub in continuation-passing step form, for callers
+// that compose VT-MIS into a sim.Machine-driven StepNode (LDT-MIS's
+// final window). Entry/exit contract matches RunSub: call it at the end
+// of an awake round strictly before base; k runs inside the final awake
+// round's receive continuation. It attends the same rounds, sends the
+// same messages, and leaves *state identical to RunSub.
+func RunSubStep(m *sim.Machine, base int64, id, idBound int, state *misproto.State, ports []int, k func()) {
+	rounds := vtree.AwakeRounds(id, idBound)
+	var attend func(idx int)
+	attend = func(idx int) {
+		if idx >= len(rounds) || *state == misproto.NotInMIS {
+			if idx == 0 {
+				// The node never woke (possible only for an already-decided
+				// NotInMIS node); park it at base so the caller's exit
+				// contract ("in an awake round") holds.
+				m.Yield(base, nil, func([]sim.Inbound) { k() })
+				return
+			}
+			k()
+			return
+		}
+		r := rounds[idx]
+		m.Yield(base+int64(r)-1, func(out *sim.Outbox) {
+			for _, p := range ports {
+				out.Send(p, misproto.StateMsg{State: *state})
+			}
+		}, func(in []sim.Inbound) {
+			if *state == misproto.Undecided {
+				for _, msg := range in {
+					if sm, ok := msg.Msg.(misproto.StateMsg); ok && sm.State == misproto.InMIS {
+						*state = misproto.NotInMIS
+						break
+					}
+				}
+			}
+			if r == id && *state == misproto.Undecided {
+				*state = misproto.InMIS
+			}
+			attend(idx + 1)
+		})
+	}
+	attend(0)
+}
+
 // Result collects the standalone algorithm's output.
 type Result struct {
 	InMIS []bool
