@@ -29,7 +29,9 @@ package awakemis
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 
 	"awakemis/internal/core"
 	"awakemis/internal/rng"
@@ -151,8 +153,13 @@ type Metrics struct {
 	MaxAwake int64 `json:"max_awake"`
 	// AvgAwake is the node-averaged awake complexity.
 	AvgAwake float64 `json:"avg_awake"`
+	// AwakeQuantiles is the compact wire summary of the per-node awake
+	// distribution — what studies aggregate now that AwakePerNode never
+	// reaches the wire.
+	AwakeQuantiles AwakeQuantiles `json:"awake_quantiles"`
 	// AwakePerNode is A_v for every node (elided from JSON; reports stay
-	// compact at million-node scale).
+	// compact at million-node scale — see AwakeQuantiles for the wire
+	// summary).
 	AwakePerNode []int64 `json:"-"`
 	// MessagesSent and BitsSent measure communication volume.
 	MessagesSent int64 `json:"messages_sent"`
@@ -161,12 +168,47 @@ type Metrics struct {
 	MaxMessageBits int `json:"max_message_bits"`
 }
 
+// AwakeQuantiles summarizes the distribution of per-node awake rounds
+// as nearest-rank quantiles: sorted[⌈q·n⌉-1]. Min is the best-off
+// node; MaxAwake (the paper's headline measure) is the p100 and lives
+// on Metrics directly.
+type AwakeQuantiles struct {
+	Min int64 `json:"min"`
+	P25 int64 `json:"p25"`
+	P50 int64 `json:"p50"`
+	P75 int64 `json:"p75"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+}
+
+// awakeQuantiles folds per-node awake counters into their wire
+// summary. Deterministic: nearest-rank on the sorted counters.
+func awakeQuantiles(per []int64) AwakeQuantiles {
+	if len(per) == 0 {
+		return AwakeQuantiles{}
+	}
+	sorted := append([]int64(nil), per...)
+	slices.Sort(sorted)
+	q := func(p float64) int64 {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return AwakeQuantiles{
+		Min: sorted[0], P25: q(0.25), P50: q(0.50),
+		P75: q(0.75), P90: q(0.90), P99: q(0.99),
+	}
+}
+
 func fromSim(m *sim.Metrics) Metrics {
 	return Metrics{
 		Rounds:         m.Rounds,
 		ExecutedRounds: m.ExecutedRounds,
 		MaxAwake:       m.MaxAwake,
 		AvgAwake:       m.AvgAwake(),
+		AwakeQuantiles: awakeQuantiles(m.AwakePerNode),
 		AwakePerNode:   append([]int64(nil), m.AwakePerNode...),
 		MessagesSent:   m.MessagesSent,
 		BitsSent:       m.BitsSent,

@@ -81,9 +81,15 @@ type Stats struct {
 	JobsCompleted  int64 `json:"jobs_completed"`
 	JobsFailed     int64 `json:"jobs_failed"`
 	JobsCanceled   int64 `json:"jobs_canceled"`
-	QueueDepth     int   `json:"queue_depth"`
-	InFlight       int   `json:"inflight"`
-	Draining       bool  `json:"draining"`
+
+	StudiesSubmitted int64 `json:"studies_submitted"`
+	StudiesCompleted int64 `json:"studies_completed"`
+	StudiesFailed    int64 `json:"studies_failed"`
+	StudiesCanceled  int64 `json:"studies_canceled"`
+
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"inflight"`
+	Draining   bool `json:"draining"`
 }
 
 // APIError is a non-2xx response decoded from the server's JSON error
@@ -195,31 +201,44 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &job, nil
 }
 
-// Wait polls the job until it reaches a terminal state or ctx ends.
-func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+// poll fetches repeatedly until terminal reports the value final or
+// ctx ends, pacing with the client's backoff (PollInterval, 1.5x up
+// to 1s). onPoll, when non-nil, observes every fetched state — the
+// shared loop behind Wait and WaitStudy.
+func poll[T any](ctx context.Context, c *Client, fetch func(context.Context) (*T, error), terminal func(*T) bool, onPoll func(*T)) (*T, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 25 * time.Millisecond
 	}
 	for {
-		job, err := c.Job(ctx, id)
+		v, err := fetch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if job.Status.Terminal() {
-			return job, nil
+		if onPoll != nil {
+			onPoll(v)
+		}
+		if terminal(v) {
+			return v, nil
 		}
 		timer := time.NewTimer(interval)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return job, ctx.Err()
+			return v, ctx.Err()
 		case <-timer.C:
 		}
 		if interval = interval * 3 / 2; interval > time.Second {
 			interval = time.Second
 		}
 	}
+}
+
+// Wait polls the job until it reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	return poll(ctx, c,
+		func(ctx context.Context) (*Job, error) { return c.Job(ctx, id) },
+		func(j *Job) bool { return j.Status.Terminal() }, nil)
 }
 
 // Run submits the spec and waits for its Report: the remote
@@ -242,6 +261,94 @@ func (c *Client) Run(ctx context.Context, spec awakemis.Spec) (*awakemis.Report,
 		return nil, fmt.Errorf("awakemisd: job %s failed: %s", job.ID, job.Error)
 	default:
 		return nil, fmt.Errorf("awakemisd: job %s was %s", job.ID, job.Status)
+	}
+}
+
+// Study is one submitted study as the server reports it: a
+// parameter-sweep grid executing through the daemon's cache and
+// coalescing machinery. Spec is the server's resolved form.
+type Study struct {
+	ID     string             `json:"id"`
+	Status JobStatus          `json:"status"`
+	Spec   awakemis.StudySpec `json:"spec"`
+	Done   int                `json:"done"`
+	Total  int                `json:"total"`
+	Error  string             `json:"error,omitempty"`
+	Result json.RawMessage    `json:"result,omitempty"`
+}
+
+// DecodeResult unmarshals the study's StudyResult artifact (Status
+// must be "done"). Result holds the exact artifact bytes — a client
+// that wants byte-level determinism should persist Result directly.
+func (st *Study) DecodeResult() (*awakemis.StudyResult, error) {
+	if st.Status != JobDone {
+		return nil, fmt.Errorf("client: study %s is %s, not done", st.ID, st.Status)
+	}
+	var res awakemis.StudyResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		return nil, fmt.Errorf("client: decoding result of study %s: %w", st.ID, err)
+	}
+	return &res, nil
+}
+
+// SubmitStudy posts one StudySpec; the study expands and aggregates
+// asynchronously (poll WaitStudy).
+func (c *Client) SubmitStudy(ctx context.Context, ss awakemis.StudySpec) (*Study, error) {
+	var study Study
+	if err := c.do(ctx, http.MethodPost, "/v1/studies", ss, &study); err != nil {
+		return nil, err
+	}
+	return &study, nil
+}
+
+// Study fetches a study's current state.
+func (c *Client) Study(ctx context.Context, id string) (*Study, error) {
+	var study Study
+	if err := c.do(ctx, http.MethodGet, "/v1/studies/"+id, nil, &study); err != nil {
+		return nil, err
+	}
+	return &study, nil
+}
+
+// CancelStudy asks the server to cancel the study: unfinished
+// sub-runs are canceled and no artifact is produced.
+func (c *Client) CancelStudy(ctx context.Context, id string) (*Study, error) {
+	var study Study
+	if err := c.do(ctx, http.MethodDelete, "/v1/studies/"+id, nil, &study); err != nil {
+		return nil, err
+	}
+	return &study, nil
+}
+
+// WaitStudy polls the study until it reaches a terminal state or ctx
+// ends. onPoll, when non-nil, receives every observed state — the CLI
+// uses it for progress lines.
+func (c *Client) WaitStudy(ctx context.Context, id string, onPoll func(*Study)) (*Study, error) {
+	return poll(ctx, c,
+		func(ctx context.Context) (*Study, error) { return c.Study(ctx, id) },
+		func(s *Study) bool { return s.Status.Terminal() }, onPoll)
+}
+
+// RunStudy submits the study and waits for its artifact: the remote
+// equivalent of awakemis.RunStudy. A failed or canceled study is an
+// error.
+func (c *Client) RunStudy(ctx context.Context, ss awakemis.StudySpec) (*awakemis.StudyResult, error) {
+	study, err := c.SubmitStudy(ctx, ss)
+	if err != nil {
+		return nil, err
+	}
+	if !study.Status.Terminal() {
+		if study, err = c.WaitStudy(ctx, study.ID, nil); err != nil {
+			return nil, err
+		}
+	}
+	switch study.Status {
+	case JobDone:
+		return study.DecodeResult()
+	case JobFailed:
+		return nil, fmt.Errorf("awakemisd: study %s failed: %s", study.ID, study.Error)
+	default:
+		return nil, fmt.Errorf("awakemisd: study %s was %s", study.ID, study.Status)
 	}
 }
 

@@ -10,6 +10,9 @@
 //	awakemis -algo luby -n 1000000 -engine stepped -workers 8
 //	awakemis -batch specs.json -parallel 4 > reports.json
 //	awakemis -batch specs.json -server http://127.0.0.1:7600
+//	awakemis -study study.json > result.json
+//	awakemis -study study.json -server http://127.0.0.1:7600
+//	awakemis -study study.json -csv > cells-and-fits.csv
 //	awakemis -list
 //
 // The -batch file is a JSON array of specs, each {name, task, graph,
@@ -17,17 +20,26 @@
 // Reports in spec order; progress goes to stderr. Ctrl-C cancels
 // in-flight simulations at their next round boundary.
 //
-// With -server, the batch is submitted to a running awakemisd daemon
+// The -study file is one StudySpec: a declarative parameter-sweep
+// grid (tasks × families × n-sweep × engines × trials) that expands
+// deterministically, aggregates each cell, and fits every metric's
+// growth over the n-sweep. Output is the StudyResult artifact as JSON
+// (or, with -csv, the cells and fits tables as CSV). The artifact is
+// byte-identical at every -parallel/-workers setting and across local
+// and -server execution.
+//
+// With -server, the work is submitted to a running awakemisd daemon
 // instead of executing locally: specs are resolved with the same
 // per-spec seed derivation the local Runner uses, so reports carry
 // the same results a local run produces (the daemon canonicalizes
 // specs, so the workers echo field and traces are dropped — neither
-// affects results). Duplicate specs coalesce server-side, and
-// repeated submissions are served byte-identically from the daemon's
-// report cache.
+// affects results). Duplicate specs coalesce server-side, repeated
+// submissions are served byte-identically from the daemon's report
+// cache, and a re-submitted study therefore runs zero simulations.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +50,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"awakemis"
 	"awakemis/client"
@@ -59,8 +72,10 @@ func main() {
 		timeline = flag.Int("timeline", 0, "show an awake timeline of the k busiest nodes (text mode)")
 		asJSON   = flag.Bool("json", false, "emit the run's Report as JSON")
 		batch    = flag.String("batch", "", "run a JSON file of specs through the batch Runner")
-		parallel = flag.Int("parallel", 0, "batch: specs in flight at once (0 = one per CPU)")
-		server   = flag.String("server", "", "batch: submit to a running awakemisd at this base URL instead of executing locally")
+		study    = flag.String("study", "", "run a StudySpec JSON file through the study engine")
+		csvOut   = flag.Bool("csv", false, "study: emit the artifact's cells and fits tables as CSV instead of JSON")
+		parallel = flag.Int("parallel", 0, "batch/study: specs in flight at once (0 = one per CPU)")
+		server   = flag.String("server", "", "batch/study: submit to a running awakemisd at this base URL instead of executing locally")
 		list     = flag.Bool("list", false, "list tasks and exit")
 	)
 	flag.Parse()
@@ -77,6 +92,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *study != "" {
+		if *batch != "" {
+			fail(errors.New("-study and -batch are mutually exclusive"))
+		}
+		runStudy(ctx, *study, *server, *parallel, *workers, *csvOut)
+		return
+	}
+	if *csvOut {
+		fail(errors.New("-csv requires -study"))
+	}
 	if *batch != "" {
 		if *server != "" {
 			submitBatch(ctx, *batch, *server, *parallel, *seed)
@@ -86,7 +111,7 @@ func main() {
 		return
 	}
 	if *server != "" {
-		fail(errors.New("-server requires -batch (single runs execute locally)"))
+		fail(errors.New("-server requires -batch or -study (single runs execute locally)"))
 	}
 
 	var g *awakemis.Graph
@@ -299,6 +324,110 @@ func submitBatch(ctx context.Context, path, server string, parallel int, seed in
 	if failed > 0 {
 		fail(fmt.Errorf("%d of %d specs failed (first: %w)", failed, len(specs), first))
 	}
+}
+
+// runStudy executes a StudySpec file — locally through the streaming
+// StudyRunner, or server-side via POST /v1/studies when -server is
+// set — and prints the StudyResult artifact to stdout (JSON, or the
+// cells and fits CSV tables with -csv, separated by a blank line).
+// Both paths print byte-identical artifacts for the same spec: the
+// daemon assembles its result through the same accumulator, and the
+// CLI re-renders the decoded artifact with the same canonical
+// marshaling.
+func runStudy(ctx context.Context, path, server string, parallel, workers int, csvOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var ss awakemis.StudySpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ss); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+
+	var res *awakemis.StudyResult
+	if server != "" {
+		res = submitStudy(ctx, ss, server)
+	} else {
+		runner := &awakemis.StudyRunner{
+			Parallel: parallel,
+			Workers:  workers,
+			OnProgress: func(p awakemis.Progress) {
+				status := "ok"
+				if p.Err != nil {
+					status = "FAILED: " + p.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-32s %s\n", p.Done, p.Total, p.Spec.Name, status)
+			},
+		}
+		res, err = runner.Run(ctx, ss)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if csvOut {
+		fmt.Print(res.CellsCSV())
+		fmt.Println()
+		fmt.Print(res.FitsCSV())
+		return
+	}
+	out, err := res.JSON()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(string(out))
+}
+
+// submitStudy runs the study on a remote awakemisd, with progress on
+// stderr as sub-runs finish.
+func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awakemis.StudyResult {
+	c := client.New(server, nil)
+	if err := c.Health(ctx); err != nil {
+		fail(err)
+	}
+	st, err := c.SubmitStudy(ctx, ss)
+	if err != nil {
+		fail(err)
+	}
+	id := st.ID // survives WaitStudy overwriting st (nil on poll errors)
+	fmt.Fprintf(os.Stderr, "study %s: %d runs\n", id, st.Total)
+	lastDone := -1
+	st, err = c.WaitStudy(ctx, id, func(s *client.Study) {
+		if s.Done != lastDone {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", s.Done, s.Total, s.Status)
+			lastDone = s.Done
+		}
+	})
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+		// Best effort: release the daemon-side sub-runs we no longer want.
+		cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		c.CancelStudy(cancelCtx, id)
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fail(err)
+	}
+	switch st.Status {
+	case client.JobDone:
+		res, err := st.DecodeResult()
+		if err != nil {
+			fail(err)
+		}
+		return res
+	case client.JobFailed:
+		fail(fmt.Errorf("study %s failed: %s", st.ID, st.Error))
+	default:
+		fail(fmt.Errorf("study %s was %s", st.ID, st.Status))
+	}
+	return nil
 }
 
 func fail(err error) {

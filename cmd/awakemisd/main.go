@@ -8,14 +8,18 @@
 //
 //	awakemisd -addr :7600 -workers 4 -queue 256 -cache-mb 64
 //
-// Endpoints (see the README's "Running as a service" section):
+// Endpoints (see the README's "Running as a service" and "Studies"
+// sections):
 //
-//	POST   /v1/jobs      submit a Spec; 200 on cache hit, else 202
-//	GET    /v1/jobs/{id} job status and, when done, its Report
-//	DELETE /v1/jobs/{id} cancel one submission (duplicates unaffected)
-//	GET    /v1/tasks     the task registry
-//	GET    /v1/stats     cache/queue/job counters
-//	GET    /v1/healthz   200 serving, 503 draining
+//	POST   /v1/jobs         submit a Spec; 200 on cache hit, else 202
+//	GET    /v1/jobs/{id}    job status and, when done, its Report
+//	DELETE /v1/jobs/{id}    cancel one submission (duplicates unaffected)
+//	POST   /v1/studies      submit a StudySpec grid; always 202
+//	GET    /v1/studies/{id} study progress and, when done, its artifact
+//	DELETE /v1/studies/{id} cancel a study and its unfinished sub-runs
+//	GET    /v1/tasks        the task registry
+//	GET    /v1/stats        cache/queue/job/study counters
+//	GET    /v1/healthz      200 serving, 503 draining
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
 // and running simulations finish (up to -drain-timeout, then they are

@@ -7,6 +7,8 @@
 //	graphgen -graph gnp -n 1024 -p 0.004 -seed 7 > g.txt
 //	graphgen -format spec -graph gnp -n 1024 -task awake-mis > spec.json
 //	graphgen -format batch -families all -tasks awake-mis,luby -seeds 3 > specs.json
+//	graphgen -format study -families gnp,regular -tasks awake-mis,vt-mis \
+//	    -sizes 64,256,1024 -trials 3 > study.json
 //
 // Formats:
 //
@@ -15,9 +17,13 @@
 //	batch  a JSON array of Specs, the cross product of -families ×
 //	       -tasks × -seeds — pipe into awakemis -batch or submit with
 //	       awakemis -batch specs.json -server URL
+//	study  one StudySpec as JSON: the declarative grid -families ×
+//	       -tasks × -sizes with -trials replications per cell — run
+//	       with awakemis -study or submit to POST /v1/studies
 //
 // Batch specs are named family/task/s<seed> and validated before
-// emission, so a generated file never fails downstream.
+// emission, so a generated file never fails downstream; study specs
+// are validated the same way (including every cell of the expansion).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"awakemis"
@@ -38,13 +45,16 @@ func main() {
 		p        = flag.Float64("p", 0, "edge probability for gnp (0 = 4/n)")
 		d        = flag.Int("d", 4, "degree for regular / attachments for powerlaw")
 		r        = flag.Float64("r", 0.1, "radius for geometric")
-		seed     = flag.Int64("seed", 1, "random seed (batch: the first of -seeds consecutive seeds)")
-		format   = flag.String("format", "edges", "output: edges|spec|batch")
-		tasks    = flag.String("tasks", "awake-mis", "spec/batch: comma-separated task names (see awakemis -list)")
-		families = flag.String("families", "", `batch: comma-separated families, or "all" (default: the -graph family)`)
+		seed     = flag.Int64("seed", 1, "random seed (batch: the first of -seeds consecutive seeds; study: the root seed)")
+		format   = flag.String("format", "edges", "output: edges|spec|batch|study")
+		tasks    = flag.String("tasks", "awake-mis", "spec/batch/study: comma-separated task names (see awakemis -list)")
+		families = flag.String("families", "", `batch/study: comma-separated families, or "all" (default: the -graph family)`)
 		seeds    = flag.Int("seeds", 1, "batch: seed variants per family×task combo (seed, seed+1, ...)")
-		engine   = flag.String("engine", "", "spec/batch: engine option to embed (stepped|lockstep; empty = default)")
-		strict   = flag.Bool("strict", true, "spec/batch: enforce the CONGEST bandwidth bound")
+		sizes    = flag.String("sizes", "64,256,1024", "study: comma-separated n-sweep")
+		trials   = flag.Int("trials", 3, "study: replications per grid cell")
+		name     = flag.String("name", "", "study: artifact label (empty = unnamed)")
+		engine   = flag.String("engine", "", "spec/batch/study: engine option to embed (stepped|lockstep; empty = default)")
+		strict   = flag.Bool("strict", true, "spec/batch/study: enforce the CONGEST bandwidth bound")
 	)
 	flag.Parse()
 
@@ -81,9 +91,73 @@ func main() {
 			}
 		}
 		emitJSON(specs)
+	case "study":
+		famList := splitList(*families)
+		if len(famList) == 0 {
+			famList = []string{*family}
+		} else if len(famList) == 1 && strings.EqualFold(famList[0], "all") {
+			famList = awakemis.Families()
+		}
+		taskList := splitList(*tasks)
+		if len(taskList) == 0 {
+			fail(fmt.Errorf("-format study needs at least one task"))
+		}
+		ss := buildStudy(*name, taskList, famList, splitList(*sizes), *trials, *seed, *p, *d, *r, *engine, *strict)
+		emitJSON(ss)
 	default:
-		fail(fmt.Errorf("unknown -format %q (have edges|spec|batch)", *format))
+		fail(fmt.Errorf("unknown -format %q (have edges|spec|batch|study)", *format))
 	}
+}
+
+// buildStudy assembles and validates a ready-to-run StudySpec grid:
+// the same family-knob elision rules as buildSpec, applied per family
+// axis entry, with the n-sweep and replication count as axes instead
+// of flags baked into each spec. Validation covers the whole
+// expansion, so an emitted study never fails downstream.
+func buildStudy(name string, tasks, families, sizeList []string, trials int, seed int64, p float64, d int, r float64, engine string, strict bool) awakemis.StudySpec {
+	var sizes []int
+	for _, s := range sizeList {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fail(fmt.Errorf("-sizes: %w", err))
+		}
+		sizes = append(sizes, n)
+	}
+	fams := make([]awakemis.GraphSpec, len(families))
+	for i, fam := range families {
+		gs := awakemis.GraphSpec{Family: strings.ToLower(fam)}
+		switch gs.Family {
+		case "gnp":
+			gs.P = p
+		case "regular", "powerlaw":
+			if d != 4 {
+				gs.Degree = d
+			}
+		case "geometric":
+			if r != 0.1 {
+				gs.Radius = r
+			}
+		}
+		fams[i] = gs
+	}
+	var engines []awakemis.Engine
+	if engine != "" {
+		engines = []awakemis.Engine{awakemis.Engine(engine)}
+	}
+	ss := awakemis.StudySpec{
+		Name:     name,
+		Tasks:    tasks,
+		Families: fams,
+		Sizes:    sizes,
+		Engines:  engines,
+		Trials:   trials,
+		Seed:     seed,
+		Options:  awakemis.Options{Strict: strict},
+	}
+	if err := ss.Validate(); err != nil {
+		fail(err)
+	}
+	return ss
 }
 
 // buildSpec assembles and validates one Spec; flag values that match

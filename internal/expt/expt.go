@@ -11,7 +11,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"sort"
+	"strings"
 
 	"awakemis"
 	"awakemis/internal/core"
@@ -190,15 +190,58 @@ func sweepMIS(o Options, w io.Writer, name string,
 	return nil
 }
 
+// runStudySweep runs tasks × sizes through the public study engine —
+// the declarative replacement for this package's historical private
+// sweep loops. The study expands into Runner-backed concurrent specs,
+// aggregates per cell, and fits growth models with bootstrap CIs;
+// output verification happens inside RunTask as always.
+func runStudySweep(o Options, w io.Writer, tasks []string, sizes []int) error {
+	o = o.withDefaults()
+	if sizes == nil {
+		sizes = o.Sizes
+	}
+	ss := awakemis.StudySpec{
+		Name:    "expt/" + strings.Join(tasks, "+"),
+		Tasks:   tasks,
+		Sizes:   sizes,
+		Engines: []awakemis.Engine{awakemis.Engine(o.Engine)},
+		Trials:  o.Trials,
+		Seed:    o.Seed,
+		Options: awakemis.Options{Strict: true},
+	}
+	runner := &awakemis.StudyRunner{Workers: o.Workers}
+	res, err := runner.Run(o.ctx(), ss)
+	if err != nil {
+		return err
+	}
+	printStudy(w, res)
+	return nil
+}
+
+// printStudy renders a study artifact as the harness's usual fixed
+// width table plus one growth-fit line per task.
+func printStudy(w io.Writer, res *awakemis.StudyResult) {
+	tb := &stats.Table{Header: []string{"task", "n", "maxAwake", "±std", "avgAwake", "rounds", "execRounds", "messages"}}
+	for _, c := range res.Cells {
+		m := c.Metrics
+		tb.Add(c.Task, c.N, m["max_awake"].Mean, m["max_awake"].Std, m["avg_awake"].Mean,
+			m["rounds"].Mean, m["executed_rounds"].Mean, m["messages_sent"].Mean)
+	}
+	fmt.Fprint(w, tb)
+	for _, f := range res.Fits {
+		if f.Metric != "max_awake" {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s max-awake growth: %-9s (R²=%.3f, B∈[%.2f, %.2f], margin %.3f over %s)\n",
+			f.Task, f.Model, f.R2, f.BLo, f.BHi, f.Margin, f.RunnerUp)
+	}
+}
+
+// runE1 reproduces the Theorem 13 n-sweep through the study engine:
+// the table is exactly a one-task study over the size axis.
 func runE1(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Awake-MIS (Theorem 13). Expected shape: max awake ~O(log log n) — nearly flat.")
-	return sweepMIS(o, w, "awake-mis", func(g *graph.Graph, n int, seed int64) (*sim.Metrics, []bool, error) {
-		res, m, err := core.RunContext(o.ctx(), g, core.Params{}, o.simConfig(sim.Config{Seed: seed, Strict: true}))
-		if err != nil {
-			return nil, nil, err
-		}
-		return m, res.InMIS, nil
-	})
+	return runStudySweep(o, w, []string{"awake-mis"}, nil)
 }
 
 func runE2(o Options, w io.Writer) error {
@@ -321,72 +364,31 @@ func runE6(o Options, w io.Writer) error {
 	return nil
 }
 
-// runE7 dispatches through the public Task registry: the headline
-// comparison is exactly the batch-of-specs workload the Runner was
-// built for, so the experiment doubles as an end-to-end exercise of
-// Runner.RunBatch (output verification happens inside RunTask).
+// runE7 runs the headline comparison through the study engine: one
+// multi-task study over the n-sweep (the same graphs under every
+// algorithm — cell seeds derive from (family, size, trial) only, so
+// the comparison is paired), plus a supplemental study for the naive
+// baseline, whose Θ(n²) awake node-rounds make large sizes
+// impractical.
 func runE7(o Options, w io.Writer) error {
 	o = o.withDefaults()
 	fmt.Fprintln(w, "Comparison (the abstract's headline): awake complexity vs round complexity.")
 	fmt.Fprintln(w, "Expected shape: Luby max-awake ~ Θ(log n) (doubles over the sweep);")
 	fmt.Fprintln(w, "Awake-MIS max-awake ~ Θ(log log n) (near-flat) at the cost of many sleeping rounds.")
-	var specs []awakemis.Spec
-	for _, n := range o.Sizes {
-		seed := o.Seed + int64(n)
-		for _, task := range []string{"luby", "naive-greedy", "vt-mis", "awake-mis"} {
-			if task == "naive-greedy" && n > 1024 {
-				// The naive baseline keeps every node awake for all I = n
-				// rounds (Θ(n²) awake node-rounds) — that cost is its point,
-				// but it makes large sweeps impractical.
-				continue
-			}
-			specs = append(specs, awakemis.Spec{
-				Name: fmt.Sprintf("%s/n=%d", task, n),
-				Task: task,
-				Graph: awakemis.GraphSpec{
-					Family: "gnp", N: n, P: 4 / float64(n), Seed: seed,
-				},
-				// Workers stays 0: the Runner divides its shared budget
-				// among the specs in flight.
-				Options: awakemis.Options{
-					Seed: seed, Strict: true,
-					Engine: awakemis.Engine(o.Engine),
-				},
-			})
-		}
-	}
-	runner := &awakemis.Runner{Workers: o.Workers, Seed: o.Seed}
-	reports, err := runner.RunBatch(o.ctx(), specs)
-	if err != nil {
+	if err := runStudySweep(o, w, []string{"luby", "vt-mis", "awake-mis"}, nil); err != nil {
 		return err
 	}
-	tb := &stats.Table{Header: []string{"n", "algorithm", "maxAwake", "avgAwake", "rounds"}}
-	type series struct{ xs, ys []float64 }
-	growth := map[string]*series{}
-	for i, rep := range reports {
-		m := rep.Metrics
-		tb.Add(rep.Graph.N, specs[i].Task, m.MaxAwake, m.AvgAwake, m.Rounds)
-		s := growth[specs[i].Task]
-		if s == nil {
-			s = &series{}
-			growth[specs[i].Task] = s
+	var small []int
+	for _, n := range o.Sizes {
+		if n <= 1024 {
+			small = append(small, n)
 		}
-		s.xs = append(s.xs, float64(rep.Graph.N))
-		s.ys = append(s.ys, float64(m.MaxAwake))
 	}
-	fmt.Fprint(w, tb)
-	names := make([]string, 0, len(growth))
-	for name := range growth {
-		names = append(names, name)
+	if len(small) == 0 {
+		return nil
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		s := growth[name]
-		fit := stats.FitGrowth(s.xs, s.ys)
-		fmt.Fprintf(w, "%-14s max-awake growth: %-9s (R²=%.3f, ratio %.2fx)\n",
-			name, fit.Model, fit.R2, stats.GrowthRatio(s.ys))
-	}
-	return nil
+	fmt.Fprintln(w)
+	return runStudySweep(o, w, []string{"naive-greedy"}, small)
 }
 
 func runE8(o Options, w io.Writer) error {

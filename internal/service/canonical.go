@@ -2,7 +2,11 @@
 // accepts Specs over HTTP, deduplicates them through a
 // content-addressed report cache with in-flight coalescing
 // (singleflight), executes them on a bounded worker pool via the
-// public Runner/RunSpec facade, and serves the resulting Reports.
+// public Runner/RunSpec facade, and serves the resulting Reports. On
+// top of jobs it serves studies (POST /v1/studies): declarative
+// parameter-sweep grids whose cells execute as ordinary jobs — so
+// repeated and overlapping sweeps coalesce through the same cache —
+// and aggregate server-side into StudyResult artifacts.
 //
 // The subsystem exploits the determinism contract of the simulator:
 // a resolved (Spec, seed, engine) triple always produces the same

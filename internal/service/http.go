@@ -107,6 +107,47 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
+// handleSubmitStudy is POST /v1/studies: the body is one StudySpec.
+// Always 202 — studies expand and aggregate asynchronously; poll GET
+// /v1/studies/{id} until terminal (sub-runs served from cache resolve
+// near-instantly, but the artifact is still assembled off-request).
+func (s *Server) handleSubmitStudy(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var ss awakemis.StudySpec
+	if err := dec.Decode(&ss); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding study spec: %s", awakemis.ErrInvalidSpec, err))
+		return
+	}
+	study, err := s.SubmitStudy(ss)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, study)
+}
+
+// handleGetStudy is GET /v1/studies/{id}.
+func (s *Server) handleGetStudy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	study, ok := s.LookupStudy(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no study %s", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, study)
+}
+
+// handleCancelStudy is DELETE /v1/studies/{id}.
+func (s *Server) handleCancelStudy(w http.ResponseWriter, r *http.Request) {
+	study, err := s.CancelStudy(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, study)
+}
+
 // handleTasks is GET /v1/tasks: the task registry.
 func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
 	tasks := awakemis.Tasks()

@@ -102,6 +102,9 @@ type Job struct {
 type job struct {
 	Job
 	flight *flight
+	// done closes when the job reaches a terminal state — the in-process
+	// completion signal study executors wait on (HTTP clients poll).
+	done chan struct{}
 }
 
 // flight is one in-flight (or queued) simulation shared by every job
@@ -140,6 +143,14 @@ type Stats struct {
 	JobsCompleted  int64 `json:"jobs_completed"`
 	JobsFailed     int64 `json:"jobs_failed"`
 	JobsCanceled   int64 `json:"jobs_canceled"`
+	// Study accounting: studies are grids of sub-jobs, so one study
+	// submission moves JobsSubmitted by its cell×trial count while
+	// moving StudiesSubmitted by one. EngineRuns still counts actual
+	// simulations — a re-submitted study leaves it unchanged.
+	StudiesSubmitted int64 `json:"studies_submitted"`
+	StudiesCompleted int64 `json:"studies_completed"`
+	StudiesFailed    int64 `json:"studies_failed"`
+	StudiesCanceled  int64 `json:"studies_canceled"`
 	// QueueDepth is the number of flights waiting for a worker;
 	// InFlight counts distinct simulations queued or running.
 	QueueDepth int  `json:"queue_depth"`
@@ -171,6 +182,13 @@ type Server struct {
 	draining bool
 	seq      int
 
+	// Studies: each submission fans out into sub-jobs through the same
+	// Submit path (cache, coalescing, bounded queue) and aggregates
+	// into a StudyResult artifact. studyDone mirrors doneOrder.
+	studies   map[string]*studyRun
+	studyDone []string
+	studySeq  int
+
 	baseCtx    context.Context
 	cancelRuns context.CancelFunc
 	wg         sync.WaitGroup
@@ -185,6 +203,7 @@ func New(cfg Config) *Server {
 		perRun:   max(1, cfg.SimWorkers/cfg.Workers),
 		jobs:     map[string]*job{},
 		inflight: map[string]*flight{},
+		studies:  map[string]*studyRun{},
 		cache:    newReportCache(cfg.CacheBytes),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -193,6 +212,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/studies", s.handleSubmitStudy)
+	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGetStudy)
+	s.mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancelStudy)
 	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -207,7 +229,9 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown drains the server: new submissions are rejected, queued
-// and running simulations finish, then the workers exit. If ctx
+// and running simulations finish, then the workers and study
+// executors exit (a study still expanding when the drain begins fails
+// — its remaining sub-runs can no longer be submitted). If ctx
 // expires first, in-flight simulations are canceled at their next
 // round boundary (their jobs fail) and Shutdown returns ctx.Err()
 // after the workers stop. Safe to call once.
@@ -250,19 +274,31 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j, err := s.submitLocked(canonical, hash)
+	if err != nil {
+		return Job{}, err
+	}
+	return j.Job, nil
+}
+
+// submitLocked is the Submit core, shared with the study executor:
+// the spec is already canonical and hashed, and s.mu is held.
+func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error) {
 	if s.draining {
-		return Job{}, fmt.Errorf("%w: server is draining", ErrUnavailable)
+		return nil, fmt.Errorf("%w: server is draining", ErrUnavailable)
 	}
 	s.seq++
-	j := &job{Job: Job{
-		ID:     fmt.Sprintf("j-%06d", s.seq),
-		Hash:   hash,
-		Spec:   canonical,
-		Status: JobQueued,
-	}}
+	j := &job{
+		Job: Job{
+			ID:     fmt.Sprintf("j-%06d", s.seq),
+			Hash:   hash,
+			Spec:   canonical,
+			Status: JobQueued,
+		},
+		done: make(chan struct{}),
+	}
 
 	if data, ok := s.cache.get(hash); ok {
 		s.stats.JobsSubmitted++
@@ -273,7 +309,7 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 		j.Report = data
 		s.jobs[j.ID] = j
 		s.finishLocked(j)
-		return j.Job, nil
+		return j, nil
 	}
 	if f, ok := s.inflight[hash]; ok {
 		s.stats.JobsSubmitted++
@@ -283,10 +319,10 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 		f.jobs = append(f.jobs, j)
 		f.live++
 		s.jobs[j.ID] = j
-		return j.Job, nil
+		return j, nil
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
-		return Job{}, fmt.Errorf("%w: job queue is full (%d pending)", ErrUnavailable, s.cfg.QueueSize)
+		return nil, fmt.Errorf("%w: job queue is full (%d pending)", ErrUnavailable, s.cfg.QueueSize)
 	}
 	s.stats.JobsSubmitted++
 	s.stats.CacheMisses++
@@ -296,7 +332,7 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 	s.jobs[j.ID] = j
 	s.queue = append(s.queue, f)
 	s.cond.Signal()
-	return j.Job, nil
+	return j, nil
 }
 
 // Lookup returns the job's current wire view.
@@ -324,6 +360,13 @@ func (s *Server) Cancel(id string) (Job, error) {
 	if j.Status.terminal() {
 		return j.Job, fmt.Errorf("%w: job %s already %s", ErrConflict, id, j.Status)
 	}
+	s.cancelLocked(j)
+	return j.Job, nil
+}
+
+// cancelLocked cancels a non-terminal job; s.mu is held. Shared by
+// Cancel and the study teardown paths.
+func (s *Server) cancelLocked(j *job) {
 	f := j.flight // finishLocked clears the pointer
 	j.Status = JobCanceled
 	s.stats.JobsCanceled++
@@ -349,7 +392,6 @@ func (s *Server) Cancel(id string) (Job, error) {
 			}
 		}
 	}
-	return j.Job, nil
 }
 
 // StatsSnapshot returns current counters.
@@ -431,6 +473,7 @@ func (s *Server) worker() {
 // the finished-job history cap. Callers hold s.mu.
 func (s *Server) finishLocked(j *job) {
 	j.flight = nil
+	close(j.done)
 	s.doneOrder = append(s.doneOrder, j.ID)
 	for len(s.doneOrder) > s.cfg.JobHistory {
 		delete(s.jobs, s.doneOrder[0])

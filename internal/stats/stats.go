@@ -1,12 +1,14 @@
 // Package stats provides the small statistics toolkit the experiment
-// harness uses: aggregation over repeated trials, quantiles, least
-// squares fits against candidate growth models (log n, log log n, n),
-// and fixed-width table rendering.
+// harness and the study subsystem use: aggregation over repeated
+// trials, quantiles, least squares fits against candidate growth
+// models (log n, log log n, n) with bootstrap confidence intervals
+// and a fit-comparison verdict, and fixed-width table rendering.
 package stats
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 )
@@ -150,6 +152,96 @@ func FitGrowth(xs, ys []float64) Fit {
 		}
 	}
 	return best
+}
+
+// Models lists the candidate growth-model names, slowest-growing
+// first — the tie-break order FitGrowth and CompareGrowth use.
+func Models() []string {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.name
+	}
+	return names
+}
+
+// ModelFunc returns the transform f of a named model (y ≈ A + B·f(x)).
+func ModelFunc(name string) (func(float64) float64, bool) {
+	for _, m := range models {
+		if m.name == name {
+			return m.f, true
+		}
+	}
+	return nil, false
+}
+
+// Verdict is the outcome of comparing every candidate growth model on
+// one series: the preferred fit, the best competing fit, and the R²
+// margin separating them. A small margin means the data cannot
+// distinguish the two models over the sampled range — the honest
+// reading of laptop-scale sweeps of slowly diverging functions.
+type Verdict struct {
+	// Preferred is the winning fit (FitGrowth's choice: best R², ties
+	// to the slower-growing model).
+	Preferred Fit
+	// RunnerUp is the best fit among the other models.
+	RunnerUp Fit
+	// Margin is Preferred.R2 - RunnerUp.R2 (≥ ~0 by construction).
+	Margin float64
+}
+
+// CompareGrowth fits every candidate model and returns the verdict.
+func CompareGrowth(xs, ys []float64) Verdict {
+	best := FitGrowth(xs, ys)
+	runner := Fit{Model: "none", R2: math.Inf(-1)}
+	for _, m := range models {
+		if m.name == best.Model {
+			continue
+		}
+		a, b, r2 := FitModel(xs, ys, m.f)
+		if r2 > runner.R2+1e-9 {
+			runner = Fit{Model: m.name, A: a, B: b, R2: r2}
+		}
+	}
+	margin := best.R2 - runner.R2
+	if math.IsInf(runner.R2, -1) {
+		margin = 0
+	}
+	return Verdict{Preferred: best, RunnerUp: runner, Margin: margin}
+}
+
+// BootstrapSlopeCI returns a percentile-bootstrap 95% confidence
+// interval for the slope B of the named model: the series is resampled
+// with replacement `resamples` times (default 200 when ≤ 0), each
+// resample is refit, and the 2.5%/97.5% quantiles of the slope
+// estimates are returned. The resampling RNG is seeded explicitly, so
+// equal inputs always produce equal intervals — the determinism the
+// study artifact format relies on. Series with fewer than three
+// points return a degenerate [B, B] interval.
+func BootstrapSlopeCI(xs, ys []float64, model string, resamples int, seed int64) (lo, hi float64) {
+	f, ok := ModelFunc(model)
+	if !ok || len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if len(xs) < 3 {
+		_, b, _ := FitModel(xs, ys, f)
+		return b, b
+	}
+	if resamples <= 0 {
+		resamples = 200
+	}
+	r := rand.New(rand.NewSource(seed))
+	slopes := make([]float64, resamples)
+	bx := make([]float64, len(xs))
+	by := make([]float64, len(ys))
+	for i := range slopes {
+		for j := range bx {
+			k := r.Intn(len(xs))
+			bx[j], by[j] = xs[k], ys[k]
+		}
+		_, b, _ := FitModel(bx, by, f)
+		slopes[i] = b
+	}
+	return Quantile(slopes, 0.025), Quantile(slopes, 0.975)
 }
 
 // GrowthRatio returns ys[len-1]/ys[0]: how much the measurement grew

@@ -91,6 +91,90 @@ func TestGrowthRatio(t *testing.T) {
 	}
 }
 
+// synthetic builds ys = a + b·f(xs) plus a small deterministic wobble
+// so fits are near-perfect but not degenerate.
+func synthetic(xs []float64, a, b float64, f func(float64) float64) []float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		wobble := 0.01 * float64(i%3-1)
+		ys[i] = a + b*f(x) + wobble
+	}
+	return ys
+}
+
+func TestCompareGrowthVerdicts(t *testing.T) {
+	xs := []float64{64, 256, 1024, 4096, 16384, 65536}
+	cases := []struct {
+		model string
+		f     func(float64) float64
+	}{
+		{"loglog n", func(x float64) float64 { return math.Log2(math.Log2(x)) }},
+		{"log n", math.Log2},
+		{"n", func(x float64) float64 { return x }},
+	}
+	for _, c := range cases {
+		v := CompareGrowth(xs, synthetic(xs, 2, 3, c.f))
+		if v.Preferred.Model != c.model {
+			t.Errorf("%s data: preferred %q (verdict %+v)", c.model, v.Preferred.Model, v)
+		}
+		if v.RunnerUp.Model == c.model || v.RunnerUp.Model == "none" {
+			t.Errorf("%s data: runner-up %q", c.model, v.RunnerUp.Model)
+		}
+		if v.Margin < 0 {
+			t.Errorf("%s data: negative margin %v", c.model, v.Margin)
+		}
+		if v.Preferred.R2-v.RunnerUp.R2-v.Margin > 1e-12 {
+			t.Errorf("%s data: margin %v inconsistent with R² gap", c.model, v.Margin)
+		}
+	}
+}
+
+func TestModelsAndModelFunc(t *testing.T) {
+	names := Models()
+	if len(names) < 3 || names[0] != "const" {
+		t.Errorf("models = %v", names)
+	}
+	for _, name := range names {
+		if _, ok := ModelFunc(name); !ok {
+			t.Errorf("ModelFunc(%q) missing", name)
+		}
+	}
+	if _, ok := ModelFunc("zipf"); ok {
+		t.Error("ModelFunc accepted an unknown model")
+	}
+}
+
+func TestBootstrapSlopeCI(t *testing.T) {
+	xs := []float64{64, 256, 1024, 4096, 16384, 65536}
+	ys := synthetic(xs, 2, 3, math.Log2)
+	lo, hi := BootstrapSlopeCI(xs, ys, "log n", 300, 7)
+	if !(lo <= 3 && 3 <= hi) {
+		t.Errorf("CI [%v, %v] does not cover the true slope 3", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI [%v, %v] is implausibly wide for near-noiseless data", lo, hi)
+	}
+	// Determinism: equal seeds give equal intervals; different seeds
+	// may not (resampling differs).
+	lo2, hi2 := BootstrapSlopeCI(xs, ys, "log n", 300, 7)
+	if lo != lo2 || hi != hi2 {
+		t.Errorf("bootstrap not deterministic: [%v, %v] vs [%v, %v]", lo, hi, lo2, hi2)
+	}
+}
+
+func TestBootstrapSlopeCIDegenerate(t *testing.T) {
+	// Two points: the CI degenerates to the point estimate.
+	lo, hi := BootstrapSlopeCI([]float64{2, 4}, []float64{1, 2}, "n", 100, 1)
+	if lo != hi {
+		t.Errorf("two-point CI should be degenerate, got [%v, %v]", lo, hi)
+	}
+	// Unknown model: NaN.
+	lo, hi = BootstrapSlopeCI([]float64{1, 2, 3}, []float64{1, 2, 3}, "zipf", 100, 1)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("unknown model CI = [%v, %v], want NaNs", lo, hi)
+	}
+}
+
 func TestTable(t *testing.T) {
 	tb := &Table{Header: []string{"n", "awake", "model"}}
 	tb.Add(1024, 12.5, "luby")

@@ -25,6 +25,7 @@ func fullReport() *awakemis.Report {
 			ExecutedRounds: 210,
 			MaxAwake:       17,
 			AvgAwake:       8.25,
+			AwakeQuantiles: awakemis.AwakeQuantiles{Min: 2, P25: 5, P50: 8, P75: 11, P90: 14, P99: 16},
 			AwakePerNode:   []int64{1, 2, 3}, // json:"-": must never appear on the wire
 			MessagesSent:   5120,
 			BitsSent:       81920,
@@ -81,6 +82,17 @@ func TestReportOmitemptyAudit(t *testing.T) {
 		if _, ok := keys[elided]; ok {
 			t.Errorf("minimal report should elide %q", elided)
 		}
+	}
+
+	// The compact awake-distribution summary always rides inside
+	// metrics — even a zero-value report carries it, so study
+	// aggregators never need to probe for its presence.
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(keys["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := metrics["awake_quantiles"]; !ok {
+		t.Error("metrics is missing awake_quantiles")
 	}
 
 	// The per-node awake counters are in-memory only (million-node
