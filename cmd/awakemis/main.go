@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -77,8 +78,13 @@ func main() {
 		parallel = flag.Int("parallel", 0, "batch/study: specs in flight at once (0 = one per CPU)")
 		server   = flag.String("server", "", "batch/study: submit to a running awakemisd at this base URL instead of executing locally")
 		list     = flag.Bool("list", false, "list tasks and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 	)
 	flag.Parse()
+
+	startProfiles(*cpuProf, *memProf)
+	defer flushProfiles()
 
 	if *list {
 		for _, t := range awakemis.Tasks() {
@@ -227,6 +233,7 @@ func runBatch(ctx context.Context, path string, parallel, workers int, seed int6
 	}
 	reports, err := runner.RunBatch(ctx, specs)
 	if errors.Is(err, context.Canceled) {
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "interrupted")
 		os.Exit(130)
 	}
@@ -303,6 +310,7 @@ func submitBatch(ctx context.Context, path, server string, parallel int, seed in
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "interrupted")
 		os.Exit(130)
 	}
@@ -363,6 +371,7 @@ func runStudy(ctx context.Context, path, server string, parallel, workers int, c
 		}
 		res, err = runner.Run(ctx, ss)
 		if errors.Is(err, context.Canceled) {
+			flushProfiles()
 			fmt.Fprintln(os.Stderr, "interrupted")
 			os.Exit(130)
 		}
@@ -409,6 +418,7 @@ func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awa
 		cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		c.CancelStudy(cancelCtx, id)
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "interrupted")
 		os.Exit(130)
 	}
@@ -430,7 +440,61 @@ func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awa
 	return nil
 }
 
+// profiles holds the optional pprof outputs. CPU profiling covers
+// everything from flag parsing to exit (graph construction included —
+// at n=10⁷ the build is a visible fraction of the run); the heap
+// profile is written after a final GC, so it reports live bytes, the
+// number that matters for "how big a graph fits".
+var profiles struct {
+	cpu     *os.File
+	memPath string
+	flushed bool
+}
+
+func startProfiles(cpuPath, memPath string) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		profiles.cpu = f
+	}
+	profiles.memPath = memPath
+}
+
+// flushProfiles finalizes both profiles; it runs on normal exit and
+// from fail, whichever comes first.
+func flushProfiles() {
+	if profiles.flushed {
+		return
+	}
+	profiles.flushed = true
+	if profiles.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := profiles.cpu.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	if profiles.memPath != "" {
+		f, err := os.Create(profiles.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		f.Close()
+	}
+}
+
 func fail(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
 }

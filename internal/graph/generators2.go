@@ -5,95 +5,88 @@ package graph
 // adversarial shapes (barbell, lollipop) that stress different parts of
 // the algorithms — symmetry breaking on vertex-transitive graphs,
 // bottleneck edges, and dense cores attached to long sparse tails.
+// All are deterministic enumerations, so they stream through build's
+// count + fill passes without materializing an edge list.
 
 // Hypercube returns the d-dimensional hypercube on 2^d vertices.
 func Hypercube(d int) *Graph {
 	n := 1 << uint(d)
-	edges := make([][2]int, 0, n*d/2)
-	for v := 0; v < n; v++ {
-		for b := 0; b < d; b++ {
-			w := v ^ (1 << uint(b))
-			if w > v {
-				edges = append(edges, [2]int{v, w})
+	return build(n, func(edge func(u, v int)) {
+		for v := 0; v < n; v++ {
+			for b := 0; b < d; b++ {
+				w := v ^ (1 << uint(b))
+				if w > v {
+					edge(v, w)
+				}
 			}
 		}
-	}
-	return MustFromEdges(n, edges)
+	})
 }
 
 // Torus returns the rows×cols 2D torus (grid with wraparound); each
-// vertex has degree 4 when both dimensions exceed 2.
+// vertex has degree 4 when both dimensions exceed 2. Wraparound edges
+// that coincide with grid edges (a dimension of size 2) or degenerate
+// to self-loops (size 1) are excluded by construction, so the
+// enumeration is duplicate-free without a seen-set.
 func Torus(rows, cols int) *Graph {
-	n := rows * cols
 	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
-	seen := map[[2]int]bool{}
-	var edges [][2]int
-	add := func(a, b int) {
-		if a == b {
-			return
+	return build(rows*cols, func(edge func(u, v int)) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if cols >= 3 || (cols == 2 && c == 0) {
+					edge(id(r, c), id(r, c+1))
+				}
+				if rows >= 3 || (rows == 2 && r == 0) {
+					edge(id(r, c), id(r+1, c))
+				}
+			}
 		}
-		if a > b {
-			a, b = b, a
-		}
-		if !seen[[2]int{a, b}] {
-			seen[[2]int{a, b}] = true
-			edges = append(edges, [2]int{a, b})
-		}
-	}
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			add(id(r, c), id(r, c+1))
-			add(id(r, c), id(r+1, c))
-		}
-	}
-	return MustFromEdges(n, edges)
+	})
 }
 
 // CompleteBipartite returns K_{a,b} with parts [0,a) and [a,a+b).
 func CompleteBipartite(a, b int) *Graph {
-	edges := make([][2]int, 0, a*b)
-	for u := 0; u < a; u++ {
-		for v := 0; v < b; v++ {
-			edges = append(edges, [2]int{u, a + v})
+	return build(a+b, func(edge func(u, v int)) {
+		for u := 0; u < a; u++ {
+			for v := 0; v < b; v++ {
+				edge(u, a+v)
+			}
 		}
-	}
-	return MustFromEdges(a+b, edges)
+	})
 }
 
 // Barbell returns two K_k cliques joined by a path of pathLen
 // intermediate vertices (pathLen may be 0 for a single bridging edge).
 func Barbell(k, pathLen int) *Graph {
-	n := 2*k + pathLen
-	var edges [][2]int
-	for u := 0; u < k; u++ {
-		for v := u + 1; v < k; v++ {
-			edges = append(edges, [2]int{u, v})
-			edges = append(edges, [2]int{k + pathLen + u, k + pathLen + v})
+	return build(2*k+pathLen, func(edge func(u, v int)) {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				edge(u, v)
+				edge(k+pathLen+u, k+pathLen+v)
+			}
 		}
-	}
-	// Bridge: clique A's vertex k-1 — path — clique B's vertex k+pathLen.
-	prev := k - 1
-	for i := 0; i < pathLen; i++ {
-		edges = append(edges, [2]int{prev, k + i})
-		prev = k + i
-	}
-	edges = append(edges, [2]int{prev, k + pathLen})
-	return MustFromEdges(n, edges)
+		// Bridge: clique A's vertex k-1 — path — clique B's vertex k+pathLen.
+		prev := k - 1
+		for i := 0; i < pathLen; i++ {
+			edge(prev, k+i)
+			prev = k + i
+		}
+		edge(prev, k+pathLen)
+	})
 }
 
 // Lollipop returns a K_k clique with a path of tail vertices attached.
 func Lollipop(k, tail int) *Graph {
-	n := k + tail
-	var edges [][2]int
-	for u := 0; u < k; u++ {
-		for v := u + 1; v < k; v++ {
-			edges = append(edges, [2]int{u, v})
+	return build(k+tail, func(edge func(u, v int)) {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				edge(u, v)
+			}
 		}
-	}
-	prev := k - 1
-	for i := 0; i < tail; i++ {
-		edges = append(edges, [2]int{prev, k + i})
-		prev = k + i
-	}
-	return MustFromEdges(n, edges)
+		prev := k - 1
+		for i := 0; i < tail; i++ {
+			edge(prev, k+i)
+			prev = k + i
+		}
+	})
 }

@@ -227,8 +227,8 @@ func TestSortedComponentSizes(t *testing.T) {
 func TestClone(t *testing.T) {
 	g := Cycle(4)
 	c := g.Clone()
-	c.adj[0][0] = 99
-	if g.adj[0][0] == 99 {
+	c.nbr[0] = 99
+	if g.nbr[0] == 99 {
 		t.Error("Clone must deep-copy adjacency")
 	}
 	if c.N() != g.N() || c.M() != g.M() {

@@ -4,20 +4,26 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
 // WriteEdgeList writes g in the plain interchange format used by
 // cmd/graphgen: a "# n m" header line followed by one "u v" pair per
-// line with u < v, in sorted order.
+// line with u < v, in sorted order. Edges stream straight off the CSR
+// rows; no edge list is materialized.
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.N(), g.M()); err != nil {
 		return err
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
-			return err
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()
@@ -25,12 +31,15 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
 // starting with "%" or "//" are ignored; a leading "# n m" header fixes
-// the vertex count (otherwise it is inferred as max index + 1).
+// the vertex count (otherwise it is inferred as max index + 1). The
+// parse collects flat half-edge arrays (4 bytes per endpoint) and the
+// graph is assembled by the same count + fill CSR build the generators
+// use, so a 100M-edge file is never held as a boxed edge list.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	n := -1
-	var edges [][2]int
+	var us, vs []int32
 	maxV := -1
 	lineNo := 0
 	for sc.Scan() {
@@ -50,13 +59,17 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %q: %w", lineNo, line, err)
 		}
+		if u > math.MaxInt32 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: line %d: vertex index exceeds int32", lineNo)
+		}
 		if u > maxV {
 			maxV = u
 		}
 		if v > maxV {
 			maxV = v
 		}
-		edges = append(edges, [2]int{u, v})
+		us = append(us, int32(u))
+		vs = append(vs, int32(v))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -67,5 +80,5 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if n < maxV+1 {
 		return nil, fmt.Errorf("graph: header n=%d below max vertex %d", n, maxV)
 	}
-	return FromEdges(n, edges)
+	return fromPairsChecked(n, us, vs)
 }

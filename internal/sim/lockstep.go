@@ -65,6 +65,12 @@ type lockstepRun struct {
 	m      Metrics
 }
 
+// outOf implements router.
+func (e *lockstepRun) outOf(v int) []outMsg { return e.states[v].ctx.out }
+
+// inboxOf implements router.
+func (e *lockstepRun) inboxOf(v int) *[]Inbound { return &e.states[v].inbox }
+
 // deliver implements ctxBackend: hand the round's sends to the engine
 // and block for the inbox.
 func (e *lockstepRun) deliver(c *Ctx) []Inbound {
@@ -202,6 +208,7 @@ func (e *lockstepRun) nodeMain(st *lsNode, prog Program) {
 
 func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 	stamp := make([]int64, len(e.states)) // stamp[v] == clock+1 iff v awake now
+	cur := make([]int32, len(e.states))   // routing's per-receiver port cursors
 	for !q.empty() {
 		// Honor cancellation at every round boundary. All node goroutines
 		// are parked between rounds here, so returning is safe: the
@@ -232,9 +239,7 @@ func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 		// Routing: deliver only between mutually awake neighbors. The
 		// evSends handshake ordered each node's ctx.out writes before
 		// this read; the inboxCh send below orders the reset after it.
-		routeRound(e.g, &e.m, e.cfg.Tracer, clock, awake, stamp,
-			func(v int) []outMsg { return e.states[v].ctx.out },
-			func(v int) *[]Inbound { return &e.states[v].inbox })
+		routeRound(e.g, &e.m, e.cfg.Tracer, clock, awake, stamp, cur, e)
 
 		// Step 3: deliver inboxes (sorted by port for determinism).
 		for _, v := range awake {

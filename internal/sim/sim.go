@@ -59,7 +59,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"awakemis/internal/bitio"
 	"awakemis/internal/graph"
@@ -238,21 +238,41 @@ func RunStepContext(ctx context.Context, g *graph.Graph, prog StepProgram, cfg C
 	return engineOf(cfg).Run(ctx, g, prog, cfg)
 }
 
+// router gives routeRound access to an engine's staged sends and inbox
+// buffers without per-round closure allocations: both run states
+// (stepState, lockstepRun) implement it directly.
+type router interface {
+	// outOf returns node v's sends staged for the current round.
+	outOf(v int) []outMsg
+	// inboxOf returns the inbox buffer routeRound appends v's
+	// deliveries to.
+	inboxOf(v int) *[]Inbound
+}
+
 // routeRound delivers one round's staged sends between mutually awake
 // nodes and meters the traffic. Senders are processed in ascending node
 // order (awake must be sorted); receivers' inboxes accumulate in that
 // order and are port-sorted before delivery. Both engines route through
 // this function — the cross-engine determinism contract depends on it.
 //
-// stamp must satisfy stamp[v] == clock+1 exactly for awake v; the
-// function establishes that invariant itself.
-func routeRound(g *graph.Graph, m *Metrics, tracer Tracer, clock int64, awake []int, stamp []int64,
-	outOf func(v int) []outMsg, inboxOf func(v int) *[]Inbound) {
+// Reverse ports (the arrival port an Inbound is tagged with) are
+// recovered by a monotone cursor per receiver: because senders arrive
+// in ascending order and CSR rows are sorted, each receiver's arrival
+// ports are ascending within the round, so a galloping search from the
+// receiver's cursor costs O(1) amortized when most neighbors send and
+// O(log degree) when few do — with no reverse-port array held in
+// memory and no allocation.
+//
+// stamp must satisfy stamp[v] == clock+1 exactly for awake v, and cur
+// is per-receiver cursor scratch; the function establishes both
+// invariants itself.
+func routeRound(g *graph.Graph, m *Metrics, tracer Tracer, clock int64, awake []int, stamp []int64, cur []int32, rt router) {
 	for _, v := range awake {
 		stamp[v] = clock + 1
+		cur[v] = 0
 	}
 	for _, v := range awake {
-		for _, om := range outOf(v) {
+		for _, om := range rt.outOf(v) {
 			bits := om.msg.Bits()
 			m.MessagesSent++
 			m.BitsSent += int64(bits)
@@ -267,17 +287,52 @@ func routeRound(g *graph.Graph, m *Metrics, tracer Tracer, clock int64, awake []
 			if !delivered {
 				continue // receiver asleep: message lost
 			}
-			in := inboxOf(w)
-			*in = append(*in, Inbound{Port: portOf(g, w, v), Msg: om.msg})
+			port := portFrom(g.Neighbors(w), int32(v), int(cur[w]))
+			cur[w] = int32(port) // not port+1: v may send on the same port again this round
+			in := rt.inboxOf(w)
+			*in = append(*in, Inbound{Port: port, Msg: om.msg})
 			m.MessagesDelivered++
 		}
 	}
 }
 
+// portFrom returns the index of v in the sorted row nb, searching from
+// position from. v must be present at or after from. Galloping keeps
+// the cost proportional to the jump actually taken: ~2 comparisons when
+// v sits at the cursor (dense traffic), O(log gap) otherwise.
+func portFrom(nb []int32, v int32, from int) int {
+	lo, step := from, 1
+	for lo+step < len(nb) && nb[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(nb) {
+		hi = len(nb)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nb[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // sortInbox orders a round's inbox by arrival port, identically in both
-// engines (part of the determinism contract).
+// engines (part of the determinism contract). Routing appends in
+// ascending sender order, which already yields ascending receiver ports
+// (port numbering is sorted by neighbor index), so this insertion sort
+// is a stable O(len) verification pass in practice — and allocates
+// nothing, unlike sort.Slice, keeping it off the steady-state heap.
 func sortInbox(in []Inbound) {
-	sort.Slice(in, func(i, j int) bool { return in[i].Port < in[j].Port })
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].Port < in[j-1].Port; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
 }
 
 // wakeQueue schedules (round, node) wake-ups: one bucket of node
@@ -316,7 +371,7 @@ func (q *wakeQueue) pop() (int64, []int) {
 	r := q.popRound()
 	b := q.buckets[r]
 	delete(q.buckets, r)
-	sort.Ints(b)
+	slices.Sort(b)
 	return r, b
 }
 
@@ -360,19 +415,4 @@ func (q *wakeQueue) popRound() int64 {
 		i = small
 	}
 	return r
-}
-
-// portOf returns u's port leading to neighbor v.
-func portOf(g *graph.Graph, u, v int) int {
-	nb := g.Neighbors(u)
-	lo, hi := 0, len(nb)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if int(nb[mid]) < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }

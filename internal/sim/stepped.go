@@ -3,18 +3,32 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 
 	"awakemis/internal/graph"
+	"awakemis/internal/rng"
 )
 
 // steppedEngine keeps all node state inline and drives awake nodes from
 // a wake-time bucket queue: no per-node goroutines, no channel
 // handshakes on the hot path. Each round's OnWake calls are fanned
-// across a worker pool in deterministic contiguous node-index shards;
-// because a step depends only on the node's own state, inbox, and
-// private RNG stream, results are bit-identical at every worker count.
+// across a persistent worker pool in deterministic contiguous
+// node-index shards; because a step depends only on the node's own
+// state, inbox, and private RNG stream, results are bit-identical at
+// every worker count.
+//
+// State is struct-of-arrays: the per-node machine, staged outbox,
+// parity-pooled inbox buffers, and next-wake round each live in their
+// own flat array, so the hot loops (routing, stepping, rescheduling)
+// touch only the arrays they need. At steady state the engine performs
+// zero heap allocations per round for native step programs: inboxes
+// are reused buffers keyed by round parity, outboxes reset in place,
+// message routing writes through the graph's precomputed reverse
+// ports, and the worker pool is fed over a channel of index spans
+// (guarded by the testing.AllocsPerRun tests in alloc_test.go).
 type steppedEngine struct {
 	workers int
 }
@@ -39,25 +53,18 @@ func (e *steppedEngine) Run(ctx context.Context, g *graph.Graph, prog NodeProgra
 	}
 	switch p := prog.(type) {
 	case StepProgram:
-		return e.run(ctx, g, p, cfg)
+		return e.run(ctx, g, p, cfg, true)
 	case Program:
 		ad := newGoroutineAdapter(p, &cfg)
 		defer ad.shutdown()
-		return e.run(ctx, g, ad.stepProgram(), cfg)
+		return e.run(ctx, g, ad.stepProgram(), cfg, false)
 	default:
 		return nil, fmt.Errorf("sim: stepped: unsupported program type %T", prog)
 	}
 }
 
-// snode is one node's inline state.
-type snode struct {
-	node  StepNode  // nil once the node halted
-	out   Outbox    // sends staged for round next
-	inbox []Inbound // accumulated by routing for the current round
-	next  int64     // wake round returned by the last OnWake
-	done  bool
-	err   error
-}
+// haltedWake marks a node that returned done from its last OnWake.
+const haltedWake = math.MinInt64
 
 // nodeFailure wraps a per-node error recovered from a step call.
 type nodeFailure struct {
@@ -74,140 +81,264 @@ func (f *nodeFailure) attach(r any) {
 	}
 }
 
-func (e *steppedEngine) run(ctx context.Context, g *graph.Graph, sp StepProgram, cfg Config) (*Metrics, error) {
-	n := g.N()
-	m := &Metrics{AwakePerNode: make([]int64, n)}
-	nodes := make([]snode, n)
-	q := newWakeQueue()
+// stepState is one run's struct-of-arrays node state plus the
+// round-scoped scratch the worker pool reads.
+type stepState struct {
+	g   *graph.Graph
+	cfg Config
+	m   *Metrics
+	q   *wakeQueue
 
-	// Construct every node machine and stage its round-0 sends.
+	node  []StepNode     // per-node machine; nil once halted
+	out   []Outbox       // sends staged for each node's next awake round
+	inbox [2][][]Inbound // per-node inbox buffers keyed by round parity
+	next  []int64        // wake round returned by the last OnWake (haltedWake once done)
+	stamp []int64        // routing scratch: stamp[v] == clock+1 iff v awake now
+	cur   []int32        // routing scratch: per-receiver port cursors
+
+	// reuse marks native step programs, whose inbox slices are borrowed
+	// for the duration of OnWake only: their buffers are truncated and
+	// reused. Adapter-run goroutine programs may retain Deliver results,
+	// so their inboxes are handed over and reallocated.
+	reuse bool
+
+	// Round scope, published to workers before shards are dispatched.
+	awake []int
+	clock int64
+	par   int // clock & 1: which inbox parity this round fills and drains
+
+	// Worker pool: spans of the awake slice flow over jobs; a nil
+	// channel means single-worker (shards run inline).
+	jobs chan [2]int
+	wg   sync.WaitGroup
+
+	// Lowest-node failure of the current round, aggregated across shards.
+	failMu   sync.Mutex
+	failNode int
+	failErr  error
+}
+
+// outOf implements router.
+func (rs *stepState) outOf(v int) []outMsg { return rs.out[v].msgs }
+
+// inboxOf implements router.
+func (rs *stepState) inboxOf(v int) *[]Inbound { return &rs.inbox[rs.par][v] }
+
+func (e *steppedEngine) run(ctx context.Context, g *graph.Graph, sp StepProgram, cfg Config, native bool) (*Metrics, error) {
+	rs, err := newStepState(g, sp, cfg, native, e.workers)
+	if err != nil {
+		return rs.m, err
+	}
+	defer rs.close()
+
+	for !rs.q.empty() {
+		// Honor cancellation at every round boundary: the nodes' inline
+		// state is simply dropped, so an abort needs no unwinding.
+		if err := ctx.Err(); err != nil {
+			return rs.m, fmt.Errorf("sim: aborted after round %d: %w", rs.m.Rounds, err)
+		}
+		if err := rs.round(e.workers); err != nil {
+			return rs.m, err
+		}
+	}
+	return rs.m, nil
+}
+
+// newStepState builds a run's node state, stages every node's round-0
+// sends, and spawns the worker pool. The returned state is driven by
+// calling round until the queue empties, then released with close. It
+// is split from run so tests can drive single rounds (the allocation
+// guards measure round in isolation after a warm-up).
+func newStepState(g *graph.Graph, sp StepProgram, cfg Config, native bool, workers int) (*stepState, error) {
+	n := g.N()
+	rs := &stepState{
+		g:     g,
+		cfg:   cfg,
+		m:     &Metrics{AwakePerNode: make([]int64, n)},
+		q:     newWakeQueue(),
+		node:  make([]StepNode, n),
+		out:   make([]Outbox, n),
+		next:  make([]int64, n),
+		stamp: make([]int64, n),
+		cur:   make([]int32, n),
+		reuse: native,
+	}
+	rs.inbox[0] = make([][]Inbound, n)
+	rs.inbox[1] = make([][]Inbound, n)
+
+	// Construct every node machine and stage its round-0 sends. The
+	// environments and RNG sources are slab-allocated: two arrays for
+	// the whole run instead of two heap objects per node.
+	envs := make([]NodeEnv, n)
+	srcs := make([]nodeSource, n)
 	for v := 0; v < n; v++ {
-		sn := &nodes[v]
-		sn.out.configure(v, g.Degree(v), &cfg)
-		env := &NodeEnv{
+		rs.out[v].configure(v, g.Degree(v), &rs.cfg)
+		srcs[v].state = uint64(rng.Stream(cfg.Seed, int64(v)))
+		envs[v] = NodeEnv{
 			ID:        v,
 			Degree:    g.Degree(v),
 			N:         cfg.N,
 			Bandwidth: cfg.Bandwidth,
-			Rand:      newNodeRand(cfg.Seed, v),
+			Rand:      rand.New(&srcs[v]),
 		}
-		if err := startNode(sn, sp, env); err != nil {
-			return m, fmt.Errorf("sim: node %d: %w", v, err)
+		if err := rs.startNode(v, sp, &envs[v]); err != nil {
+			return rs, fmt.Errorf("sim: node %d: %w", v, err)
 		}
-		q.add(0, v) // all nodes start awake in round 0
+		rs.q.add(0, v) // all nodes start awake in round 0
 	}
 
-	stamp := make([]int64, n)
-	for !q.empty() {
-		// Honor cancellation at every round boundary: the nodes' inline
-		// state is simply dropped, so an abort needs no unwinding.
-		if err := ctx.Err(); err != nil {
-			return m, fmt.Errorf("sim: aborted after round %d: %w", m.Rounds, err)
+	if workers > 1 {
+		rs.jobs = make(chan [2]int, workers)
+		for i := 0; i < workers; i++ {
+			go rs.worker()
 		}
-		clock, awake := q.pop()
-		if clock > cfg.MaxRounds {
-			return m, fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
-		}
-		m.ExecutedRounds++
-		if clock+1 > m.Rounds {
-			m.Rounds = clock + 1
-		}
-		for _, v := range awake {
-			m.noteAwake(v, clock, cfg.Tracer)
-		}
-
-		// Transmit the sends staged for this round (decided at each
-		// node's previous awake round) between mutually awake nodes.
-		routeRound(g, m, cfg.Tracer, clock, awake, stamp,
-			func(v int) []outMsg { return nodes[v].out.msgs },
-			func(v int) *[]Inbound { return &nodes[v].inbox })
-
-		// Fan the step calls across the worker pool in contiguous
-		// node-index shards.
-		e.stepAll(nodes, awake, clock)
-
-		// Surface the lowest-indexed failure deterministically.
-		for _, v := range awake {
-			if err := nodes[v].err; err != nil {
-				return m, fmt.Errorf("sim: node %d: %w", v, err)
-			}
-		}
-
-		// Reschedule.
-		for _, v := range awake {
-			sn := &nodes[v]
-			if sn.done {
-				sn.node = nil // release the machine; staged sends are dropped
-				continue
-			}
-			if sn.next <= clock {
-				return m, fmt.Errorf("sim: node %d scheduled wake %d not after round %d", v, sn.next, clock)
-			}
-			q.add(sn.next, v)
-		}
-		q.recycle(awake)
 	}
-	return m, nil
+	return rs, nil
+}
+
+// close releases the worker pool.
+func (rs *stepState) close() {
+	if rs.jobs != nil {
+		close(rs.jobs)
+	}
+}
+
+// round executes one scheduled round: pop the awake set, route the
+// staged sends, fan the OnWake calls across the pool, and reschedule.
+// It is the engine's entire per-round path, factored out so the
+// allocation-regression tests can drive it directly.
+func (rs *stepState) round(workers int) error {
+	clock, awake := rs.q.pop()
+	if clock > rs.cfg.MaxRounds {
+		return fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
+	}
+	rs.m.ExecutedRounds++
+	if clock+1 > rs.m.Rounds {
+		rs.m.Rounds = clock + 1
+	}
+	for _, v := range awake {
+		rs.m.noteAwake(v, clock, rs.cfg.Tracer)
+	}
+
+	// Transmit the sends staged for this round (decided at each node's
+	// previous awake round) between mutually awake nodes. The inboxes
+	// filled here are this round's parity buffers; OnWake drains them.
+	rs.clock = clock
+	rs.par = int(clock & 1)
+	routeRound(rs.g, rs.m, rs.cfg.Tracer, clock, awake, rs.stamp, rs.cur, rs)
+
+	// Fan the step calls across the worker pool in contiguous
+	// node-index shards.
+	rs.stepAll(awake, workers)
+
+	// Surface the lowest-indexed failure deterministically.
+	if err := rs.failErr; err != nil {
+		return fmt.Errorf("sim: node %d: %w", rs.failNode, err)
+	}
+
+	// Reschedule.
+	for _, v := range awake {
+		next := rs.next[v]
+		if next == haltedWake {
+			continue
+		}
+		if next <= clock {
+			return fmt.Errorf("sim: node %d scheduled wake %d not after round %d", v, next, clock)
+		}
+		rs.q.add(next, v)
+	}
+	rs.q.recycle(awake)
+	return nil
 }
 
 // stepAll runs OnWake for every awake node, splitting the (sorted)
-// awake list into at most e.workers contiguous shards. Shard boundaries
+// awake list into at most workers contiguous shards. Shard boundaries
 // affect scheduling only, never results: a step touches nothing but its
 // own node's state.
-func (e *steppedEngine) stepAll(nodes []snode, awake []int, clock int64) {
+func (rs *stepState) stepAll(awake []int, workers int) {
 	const minParallel = 128
-	if e.workers == 1 || len(awake) < minParallel {
-		stepRange(nodes, awake, clock)
+	if rs.jobs == nil || len(awake) < minParallel {
+		rs.stepRange(awake)
 		return
 	}
-	shards := e.workers
-	chunk := (len(awake) + shards - 1) / shards
-	var wg sync.WaitGroup
+	rs.awake = awake
+	chunk := (len(awake) + workers - 1) / workers
 	for lo := 0; lo < len(awake); lo += chunk {
 		hi := lo + chunk
 		if hi > len(awake) {
 			hi = len(awake)
 		}
-		wg.Add(1)
-		go func(part []int) {
-			defer wg.Done()
-			stepRange(nodes, part, clock)
-		}(awake[lo:hi])
+		rs.wg.Add(1)
+		rs.jobs <- [2]int{lo, hi}
 	}
-	wg.Wait()
+	rs.wg.Wait()
 }
 
-func stepRange(nodes []snode, awake []int, clock int64) {
+// worker drains awake-list spans for the run's lifetime; the channel
+// send/receive pair orders each round's published state before the
+// shard that reads it.
+func (rs *stepState) worker() {
+	for span := range rs.jobs {
+		rs.stepRange(rs.awake[span[0]:span[1]])
+		rs.wg.Done()
+	}
+}
+
+func (rs *stepState) stepRange(awake []int) {
 	for _, v := range awake {
-		stepNode(&nodes[v], clock)
+		rs.stepNode(v)
 	}
 }
 
-func stepNode(sn *snode, clock int64) {
-	defer func() {
-		if r := recover(); r != nil {
-			if f, ok := r.(*nodeFailure); ok {
-				sn.err = f.err
-			} else {
-				f := &nodeFailure{}
-				f.attach(r)
-				sn.err = f.err
-			}
-		}
-	}()
-	// Hand the inbox over and start a fresh slice next round. Buffer
-	// reuse here is forbidden even though StepNode declares the inbox
-	// borrowed: goroutine programs running through the adapter may
-	// legitimately retain their Deliver() result past the round, and
-	// they receive this very slice.
-	in := sn.inbox
-	sn.inbox = nil
-	sortInbox(in)
-	sn.out.reset()
-	sn.next, sn.done = sn.node.OnWake(clock, in, &sn.out)
+// fail records a node failure, keeping the lowest node index so the
+// surfaced error is deterministic at every worker count.
+func (rs *stepState) fail(v int, err error) {
+	rs.failMu.Lock()
+	if rs.failErr == nil || v < rs.failNode {
+		rs.failNode, rs.failErr = v, err
+	}
+	rs.failMu.Unlock()
 }
 
-func startNode(sn *snode, sp StepProgram, env *NodeEnv) (err error) {
+func (rs *stepState) stepNode(v int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*nodeFailure); ok {
+				rs.fail(v, f.err)
+			} else {
+				f := &nodeFailure{}
+				f.attach(r)
+				rs.fail(v, f.err)
+			}
+		}
+	}()
+	buf := &rs.inbox[rs.par][v]
+	in := *buf
+	if rs.reuse {
+		// Native step nodes borrow the inbox for the OnWake call only,
+		// so the buffer is truncated for reuse. It is not refilled
+		// before the next round of the same parity, giving one full
+		// round of slack beyond the contract.
+		*buf = in[:0]
+	} else {
+		// The goroutine adapter hands the slice to a program that may
+		// retain it (Ctx.Deliver makes no borrowing promise): start a
+		// fresh buffer next round.
+		*buf = nil
+	}
+	sortInbox(in)
+	out := &rs.out[v]
+	out.reset()
+	next, done := rs.node[v].OnWake(rs.clock, in, out)
+	if done {
+		rs.node[v] = nil // release the machine; staged sends are dropped
+		rs.next[v] = haltedWake
+		return
+	}
+	rs.next[v] = next
+}
+
+func (rs *stepState) startNode(v int, sp StepProgram, env *NodeEnv) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if f, ok := r.(*nodeFailure); ok {
@@ -219,7 +350,7 @@ func startNode(sn *snode, sp StepProgram, env *NodeEnv) (err error) {
 			}
 		}
 	}()
-	sn.node = sp(env)
-	sn.node.Start(&sn.out)
+	rs.node[v] = sp(env)
+	rs.node[v].Start(&rs.out[v])
 	return nil
 }
