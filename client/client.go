@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,6 +92,25 @@ type Stats struct {
 	QueueDepth int  `json:"queue_depth"`
 	InFlight   int  `json:"inflight"`
 	Draining   bool `json:"draining"`
+
+	// Persistent store tier (omitted unless the daemon runs with
+	// -store-dir).
+	StoreHits      int64 `json:"store_hits,omitempty"`
+	StoreMisses    int64 `json:"store_misses,omitempty"`
+	StoreEntries   int64 `json:"store_entries,omitempty"`
+	StoreBytes     int64 `json:"store_bytes,omitempty"`
+	StoreBudget    int64 `json:"store_budget_bytes,omitempty"`
+	StoreEvictions int64 `json:"store_evictions,omitempty"`
+	StoreCorrupt   int64 `json:"store_corrupt,omitempty"`
+	StoreErrors    int64 `json:"store_errors,omitempty"`
+
+	// Cluster forwarding (omitted unless the daemon fronts a cluster
+	// with -peers).
+	Forwarded     int64            `json:"forwarded,omitempty"`
+	ForwardErrors int64            `json:"forward_errors,omitempty"`
+	PeerForwards  map[string]int64 `json:"peer_forwards,omitempty"`
+	PeersHealthy  int              `json:"peers_healthy,omitempty"`
+	PeersTotal    int              `json:"peers_total,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the server's JSON error
@@ -97,6 +118,11 @@ type Stats struct {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when the
+	// response carried none). The daemon attaches it to queue-full
+	// 503s but not to draining 503s, and the Submit paths use exactly
+	// that distinction to decide whether backing off can help.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -109,6 +135,12 @@ func (e *APIError) IsRetryable() bool {
 	return e.StatusCode == http.StatusServiceUnavailable
 }
 
+// transient reports whether the error is a backoff-and-retry 503: the
+// server explicitly said the condition is temporary.
+func (e *APIError) transient() bool {
+	return e.StatusCode == http.StatusServiceUnavailable && e.RetryAfter > 0
+}
+
 // Client talks to one awakemisd daemon.
 type Client struct {
 	baseURL string
@@ -116,6 +148,11 @@ type Client struct {
 	// PollInterval paces Wait's status polling (default 25ms, backing
 	// off 1.5x to 1s between polls).
 	PollInterval time.Duration
+	// MaxRetries bounds how many times Submit/SubmitStudy retry a
+	// queue-full 503 (one marked Retry-After by the server) before
+	// surfacing it, backing off exponentially with jitter between
+	// attempts. 0 means the default 4; negative disables retrying.
+	MaxRetries int
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -126,6 +163,9 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	}
 	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
+
+// BaseURL returns the daemon base URL this client talks to.
+func (c *Client) BaseURL() string { return c.baseURL }
 
 // do issues one request and decodes the JSON response into out.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -161,7 +201,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		var retryAfter time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil
@@ -172,11 +216,48 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// submitBackoff runs a POST with bounded exponential backoff on
+// queue-full 503s: attempts are spaced base·2ᵏ plus up to 100% jitter
+// (decorrelating a thundering herd of retriers), capped at 2s per
+// wait, at most MaxRetries retries, and every wait aborts promptly
+// when ctx ends. Any other error — including a draining 503, which
+// carries no Retry-After — is surfaced immediately.
+func (c *Client) submitBackoff(ctx context.Context, path string, body, out any) error {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 4
+	}
+	const maxWait = 2 * time.Second
+	wait := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, http.MethodPost, path, body, out)
+		apiErr := new(APIError)
+		if err == nil || attempt >= retries || !errors.As(err, &apiErr) || !apiErr.transient() {
+			return err
+		}
+		d := wait + rand.N(wait) // wait..2·wait
+		if d > maxWait {
+			d = maxWait
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		if wait *= 2; wait > maxWait {
+			wait = maxWait
+		}
+	}
+}
+
 // Submit posts one spec and returns its job — possibly already done
-// when served from the report cache.
+// when served from the report cache. Queue-full rejections are
+// retried with backoff (see MaxRetries).
 func (c *Client) Submit(ctx context.Context, spec awakemis.Spec) (*Job, error) {
 	var job Job
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &job); err != nil {
+	if err := c.submitBackoff(ctx, "/v1/jobs", spec, &job); err != nil {
 		return nil, err
 	}
 	return &job, nil
@@ -292,10 +373,11 @@ func (st *Study) DecodeResult() (*awakemis.StudyResult, error) {
 }
 
 // SubmitStudy posts one StudySpec; the study expands and aggregates
-// asynchronously (poll WaitStudy).
+// asynchronously (poll WaitStudy). Queue-full rejections are retried
+// with backoff (see MaxRetries).
 func (c *Client) SubmitStudy(ctx context.Context, ss awakemis.StudySpec) (*Study, error) {
 	var study Study
-	if err := c.do(ctx, http.MethodPost, "/v1/studies", ss, &study); err != nil {
+	if err := c.submitBackoff(ctx, "/v1/studies", ss, &study); err != nil {
 		return nil, err
 	}
 	return &study, nil

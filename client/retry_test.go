@@ -1,0 +1,129 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"awakemis"
+	"awakemis/client"
+)
+
+// overloadedThenOK fakes a daemon whose queue is full for the first
+// `fails` submissions: queue-full 503s carry Retry-After (the marker
+// the client backs off on), then the job is accepted.
+func overloadedThenOK(fails int64, calls *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= fails {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "job queue is full (1 pending)"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "j-000001", "status": "queued"})
+	})
+}
+
+func testSpec() awakemis.Spec {
+	return awakemis.Spec{Task: "luby", Graph: awakemis.GraphSpec{Family: "gnp", N: 32}}
+}
+
+// TestSubmitRetriesQueueFull is the satellite acceptance test: a
+// server that 503s twice (queue full) then succeeds — Submit backs
+// off and lands the job on the third attempt.
+func TestSubmitRetriesQueueFull(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(overloadedThenOK(2, &calls))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	start := time.Now()
+	job, err := c.Submit(context.Background(), testSpec())
+	if err != nil {
+		t.Fatalf("submit after two 503s: %v", err)
+	}
+	if job.ID != "j-000001" {
+		t.Errorf("job = %+v", job)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	// Two waits of at least 50ms and 100ms happened between attempts.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("retries completed in %v; backoff not applied", elapsed)
+	}
+}
+
+// TestSubmitRetriesAreCapped: a persistently full queue surfaces the
+// 503 after MaxRetries retries instead of spinning forever.
+func TestSubmitRetriesAreCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(overloadedThenOK(1<<30, &calls))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	c.MaxRetries = 2
+	_, err := c.Submit(context.Background(), testSpec())
+	apiErr := new(client.APIError)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("capped retry error = %v, want 503", err)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s from the header", apiErr.RetryAfter)
+	}
+	if got := calls.Load(); got != 3 { // initial attempt + 2 retries
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestSubmitDoesNotRetryDraining: a 503 without Retry-After (the
+// draining case) is a hard error — the server is going away, backing
+// off cannot help.
+func TestSubmitDoesNotRetryDraining(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "server is draining"})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	_, err := c.Submit(context.Background(), testSpec())
+	apiErr := new(client.APIError)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining error = %v, want 503", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retries while draining)", got)
+	}
+}
+
+// TestSubmitRetryRespectsContext: cancellation during a backoff wait
+// returns promptly with ctx's error.
+func TestSubmitRetryRespectsContext(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(overloadedThenOK(1<<30, &calls))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, testSpec())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v to surface", elapsed)
+	}
+}

@@ -8,8 +8,17 @@
 //
 //	awakemisd -addr :7600 -workers 4 -queue 256 -cache-mb 64
 //
-// Endpoints (see the README's "Running as a service" and "Studies"
-// sections):
+// With -store-dir the in-memory cache is backed by a persistent
+// content-addressed store that survives restarts; with -peers the
+// daemon becomes a cluster front that runs no simulations itself and
+// instead shards each flight to the worker daemon owning its
+// canonical spec hash:
+//
+//	awakemisd -addr :7700 -store-dir /var/lib/awakemis/w1           # worker
+//	awakemisd -addr :7602 -peers 127.0.0.1:7700,127.0.0.1:7701      # front
+//
+// Endpoints (see the README's "Running as a service" and "Cluster
+// mode & persistence" sections):
 //
 //	POST   /v1/jobs         submit a Spec; 200 on cache hit, else 202
 //	GET    /v1/jobs/{id}    job status and, when done, its Report
@@ -18,8 +27,9 @@
 //	GET    /v1/studies/{id} study progress and, when done, its artifact
 //	DELETE /v1/studies/{id} cancel a study and its unfinished sub-runs
 //	GET    /v1/tasks        the task registry
-//	GET    /v1/stats        cache/queue/job/study counters
+//	GET    /v1/stats        cache/store/queue/job/study/peer counters
 //	GET    /v1/healthz      200 serving, 503 draining
+//	GET    /metrics         Prometheus text exposition (disable: -metrics=false)
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
 // and running simulations finish (up to -drain-timeout, then they are
@@ -36,31 +46,69 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"awakemis/internal/cluster"
 	"awakemis/internal/service"
+	"awakemis/internal/store"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7600", "listen address")
-		workers    = flag.Int("workers", 0, "simulations in flight at once (0 = one per CPU, capped at 4)")
-		simWorkers = flag.Int("sim-workers", 0, "total stepped-engine worker budget divided among the slots (0 = one per CPU)")
-		queue      = flag.Int("queue", 0, "pending-simulation queue bound (0 = 256)")
-		cacheMB    = flag.Int64("cache-mb", 0, "report cache budget in MiB (0 = 64, negative disables)")
-		history    = flag.Int("history", 0, "finished jobs kept queryable (0 = 4096)")
-		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight simulations finish")
+		addr        = flag.String("addr", ":7600", "listen address")
+		workers     = flag.Int("workers", 0, "simulations in flight at once (0 = one per CPU, capped at 4)")
+		simWorkers  = flag.Int("sim-workers", 0, "total stepped-engine worker budget divided among the slots (0 = one per CPU)")
+		queue       = flag.Int("queue", 0, "pending-simulation queue bound (0 = 256)")
+		cacheMB     = flag.Int64("cache-mb", 0, "report cache budget in MiB (0 = 64, negative disables)")
+		history     = flag.Int("history", 0, "finished jobs kept queryable (0 = 4096)")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight simulations finish")
+		storeDir    = flag.String("store-dir", "", "persistent report store directory (empty = memory only)")
+		storeBudget = flag.Int64("store-budget", 0, "store byte budget in MiB (0 = 1024, negative unlimited)")
+		peers       = flag.String("peers", "", "comma-separated worker daemon addresses; makes this daemon a cluster front")
+		metrics     = flag.Bool("metrics", true, "serve Prometheus text metrics at GET /metrics")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:    *workers,
 		SimWorkers: *simWorkers,
 		QueueSize:  *queue,
 		CacheBytes: *cacheMB << 20,
 		JobHistory: *history,
-	})
+		Metrics:    *metrics,
+	}
+
+	if *storeDir != "" {
+		budget := *storeBudget << 20
+		if *storeBudget < 0 {
+			budget = -1
+		}
+		st, err := store.Open(*storeDir, budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error: opening store:", err)
+			os.Exit(1)
+		}
+		ss := st.Stats()
+		log.Printf("store %s: recovered %d records (%d bytes, budget %d)", st.Dir(), ss.Entries, ss.Bytes, ss.Budget)
+		cfg.Store = st
+	}
+
+	var front *cluster.Front
+	if *peers != "" {
+		var err error
+		front, err = cluster.New(strings.Split(*peers, ","), cluster.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		front.Start()
+		cfg.Forward = front
+		log.Printf("cluster front: sharding across %d peers", len(front.PeerHealth()))
+	}
+
+	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -84,7 +132,8 @@ func main() {
 
 	// Drain the job queue first — new submissions already get 503, but
 	// status polls keep working so waiting clients see their jobs
-	// finish — then close the HTTP listener.
+	// finish — then stop forwarding, then close the HTTP listener. The
+	// store needs no flush: every write is already durable.
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
 	defer cancelDrain()
 	switch err := srv.Shutdown(drainCtx); {
@@ -92,6 +141,12 @@ func main() {
 		log.Printf("drain timed out; in-flight simulations were canceled")
 	case err != nil:
 		log.Printf("drain: %v", err)
+	}
+	if front != nil {
+		front.Close()
+	}
+	if cfg.Store != nil {
+		cfg.Store.Close()
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()

@@ -1,6 +1,55 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+
+	"awakemis/internal/store"
+)
+
+// tieredCache layers the in-memory LRU over an optional persistent
+// content-addressed store: hot entries are served from RAM, the disk
+// tier survives restarts and grows past the memory budget. The two
+// tiers are deliberately exposed separately — the Server consults
+// memory under its mutex on every submission but checks disk only
+// after the in-flight index (no file I/O for coalesced duplicates),
+// and persists to disk outside the mutex (gzip + fsync must not
+// stall submissions).
+type tieredCache struct {
+	mem  *reportCache
+	disk *store.Store // nil means memory-only
+}
+
+func newTieredCache(memBudget int64, disk *store.Store) *tieredCache {
+	return &tieredCache{mem: newReportCache(memBudget), disk: disk}
+}
+
+func (t *tieredCache) getMem(hash string) ([]byte, bool) { return t.mem.get(hash) }
+
+// getDisk consults the persistent tier, promoting a hit into the
+// in-memory LRU so repeats are served from RAM. The store verifies
+// every record against its embedded checksum, so a promoted value is
+// exactly the bytes the original run produced.
+func (t *tieredCache) getDisk(hash string) ([]byte, bool) {
+	if t.disk == nil {
+		return nil, false
+	}
+	data, ok := t.disk.Get(hash)
+	if ok {
+		t.mem.put(hash, data)
+	}
+	return data, ok
+}
+
+func (t *tieredCache) putMem(hash string, value []byte) { t.mem.put(hash, value) }
+
+func (t *tieredCache) putDisk(hash string, value []byte) error {
+	if t.disk == nil {
+		return nil
+	}
+	return t.disk.Put(hash, value)
+}
+
+func (t *tieredCache) hasDisk() bool { return t.disk != nil }
 
 // reportCache is a byte-budgeted LRU of marshaled Reports keyed by
 // canonical spec hash. Values are immutable wire bytes: a hit serves

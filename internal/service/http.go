@@ -21,6 +21,12 @@ var (
 	ErrConflict = errors.New("conflict")
 )
 
+// ErrOverloaded is the queue-full case of ErrUnavailable: transient
+// by construction, so its 503 carries a Retry-After header and the
+// client package backs off and retries. A draining 503 deliberately
+// does not — the server is going away, retrying it is futile.
+var ErrOverloaded = fmt.Errorf("%w: overloaded", ErrUnavailable)
+
 // TaskInfo is the /v1/tasks wire view of one registry entry.
 type TaskInfo struct {
 	Name     string `json:"name"`
@@ -46,8 +52,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to its HTTP status: 400 for malformed
-// specs, 503 for drain/overload, 404/409 for job lookups, 500
-// otherwise.
+// specs, 503 for drain/overload (queue-full 503s add Retry-After so
+// clients know backing off can succeed), 404/409 for job lookups,
+// 500 otherwise.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -55,6 +62,9 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnavailable):
 		status = http.StatusServiceUnavailable
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+		}
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrConflict):

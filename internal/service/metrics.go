@@ -1,0 +1,172 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The operational surface: GET /metrics in Prometheus text format,
+// rendered by hand — the repo takes no dependencies, and the format
+// is a stable, trivially writable line protocol. Counters and gauges
+// come from StatsSnapshot (the same numbers /v1/stats serves, so the
+// two surfaces can never disagree); request latency histograms are
+// collected by the instrument middleware per mux route.
+
+// latencyBuckets are the histogram's cumulative upper bounds in
+// seconds: sub-millisecond cache hits through multi-second engine
+// runs.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is one route's latency distribution. counts[i] is the
+// number of observations in (bucket i-1, bucket i]; the final slot
+// collects the +Inf overflow.
+type histogram struct {
+	counts []int64 // len(latencyBuckets)+1
+	sum    float64
+	total  int64
+}
+
+// metricsState guards the per-route histograms.
+type metricsState struct {
+	mu     sync.Mutex
+	routes map[string]*histogram
+}
+
+func newMetricsState() *metricsState {
+	return &metricsState{routes: map[string]*histogram{}}
+}
+
+// observe records one request's duration under its route label.
+func (m *metricsState) observe(route string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.routes[route]
+	if !ok {
+		h = &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+		m.routes[route] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// instrument wraps the mux with latency collection. The route label
+// is the matched ServeMux pattern ("POST /v1/jobs", "GET
+// /v1/jobs/{id}", ...) — the mux records it on the request during
+// dispatch, so path parameters never explode label cardinality.
+// Unmatched requests are grouped under "other".
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		route := r.Pattern
+		if route == "" {
+			route = "other"
+		}
+		s.metrics.observe(route, time.Since(start).Seconds())
+	})
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.StatsSnapshot()
+	var b strings.Builder
+
+	scalar := func(name, typ, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	scalar("awakemisd_queue_depth", "gauge", "Flights waiting for a worker.", st.QueueDepth)
+	scalar("awakemisd_inflight", "gauge", "Distinct simulations queued or running.", st.InFlight)
+	scalar("awakemisd_draining", "gauge", "1 while the server drains for shutdown.", b2i(st.Draining))
+	scalar("awakemisd_engine_runs_total", "counter", "Simulations actually started by the local engine.", st.EngineRuns)
+	scalar("awakemisd_cache_hits_total", "counter", "Submissions served from the report cache (memory or store).", st.CacheHits)
+	scalar("awakemisd_cache_misses_total", "counter", "Submissions that needed a new flight.", st.CacheMisses)
+	scalar("awakemisd_coalesced_total", "counter", "Submissions attached to an identical in-flight simulation.", st.Coalesced)
+	scalar("awakemisd_cache_entries", "gauge", "Reports in the in-memory LRU.", st.CacheEntries)
+	scalar("awakemisd_cache_bytes", "gauge", "Bytes in the in-memory LRU.", st.CacheBytes)
+	scalar("awakemisd_cache_evictions_total", "counter", "In-memory LRU evictions.", st.CacheEvictions)
+	scalar("awakemisd_jobs_submitted_total", "counter", "Jobs accepted.", st.JobsSubmitted)
+	scalar("awakemisd_jobs_completed_total", "counter", "Jobs finished with a report.", st.JobsCompleted)
+	scalar("awakemisd_jobs_failed_total", "counter", "Jobs that errored.", st.JobsFailed)
+	scalar("awakemisd_jobs_canceled_total", "counter", "Jobs canceled by submitters.", st.JobsCanceled)
+	scalar("awakemisd_studies_submitted_total", "counter", "Studies accepted.", st.StudiesSubmitted)
+	scalar("awakemisd_studies_completed_total", "counter", "Studies that produced an artifact.", st.StudiesCompleted)
+
+	if s.cache.hasDisk() {
+		scalar("awakemisd_store_hits_total", "counter", "Cache misses served from the persistent store.", st.StoreHits)
+		scalar("awakemisd_store_misses_total", "counter", "Persistent store lookups that found nothing.", st.StoreMisses)
+		scalar("awakemisd_store_entries", "gauge", "Records in the persistent store.", st.StoreEntries)
+		scalar("awakemisd_store_bytes", "gauge", "Record file bytes in the persistent store.", st.StoreBytes)
+		scalar("awakemisd_store_evictions_total", "counter", "Records evicted by the store byte budget.", st.StoreEvictions)
+		scalar("awakemisd_store_corrupt_total", "counter", "Records discarded by checksum verification.", st.StoreCorrupt)
+	}
+
+	if s.fwd != nil {
+		scalar("awakemisd_forwarded_total", "counter", "Flights served by a cluster peer.", st.Forwarded)
+		scalar("awakemisd_forward_errors_total", "counter", "Flights no peer could serve.", st.ForwardErrors)
+		health := s.fwd.PeerHealth()
+		peers := make([]string, 0, len(health))
+		for addr := range health {
+			peers = append(peers, addr)
+		}
+		sort.Strings(peers)
+		fmt.Fprintf(&b, "# HELP awakemisd_peer_up 1 if the peer's last health probe (or forward) succeeded.\n# TYPE awakemisd_peer_up gauge\n")
+		for _, addr := range peers {
+			fmt.Fprintf(&b, "awakemisd_peer_up{peer=%s} %d\n", labelQuote(addr), b2i(health[addr]))
+		}
+		fmt.Fprintf(&b, "# HELP awakemisd_peer_forwards_total Flights served, by peer.\n# TYPE awakemisd_peer_forwards_total counter\n")
+		for _, addr := range peers {
+			fmt.Fprintf(&b, "awakemisd_peer_forwards_total{peer=%s} %d\n", labelQuote(addr), st.PeerForwards[addr])
+		}
+	}
+
+	s.renderLatency(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// renderLatency writes the per-route request duration histograms.
+func (s *Server) renderLatency(b *strings.Builder) {
+	const name = "awakemisd_http_request_duration_seconds"
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	routes := make([]string, 0, len(s.metrics.routes))
+	for route := range s.metrics.routes {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(b, "# HELP %s HTTP request latency by mux route.\n# TYPE %s histogram\n", name, name)
+	for _, route := range routes {
+		h := s.metrics.routes[route]
+		label := labelQuote(route)
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(b, "%s_bucket{route=%s,le=%q} %d\n", name, label, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(b, "%s_bucket{route=%s,le=\"+Inf\"} %d\n", name, label, cum)
+		fmt.Fprintf(b, "%s_sum{route=%s} %s\n", name, label, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count{route=%s} %d\n", name, label, h.total)
+	}
+}
+
+// labelQuote escapes a label value per the Prometheus text format.
+func labelQuote(v string) string {
+	return strconv.Quote(v) // \", \\ and \n escapes match the exposition format
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+// Tests of the Prometheus text endpoint: exposition format, counter
+// values tracking StatsSnapshot, and per-route latency histograms
+// recorded by the instrumentation middleware.
+package service_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"awakemis/internal/service"
+)
+
+func scrapeMetrics(t *testing.T, baseURL string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, service.Config{Metrics: true})
+	ctx := context.Background()
+
+	if _, err := c.Run(ctx, targetSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	body, contentType := scrapeMetrics(t, c.BaseURL())
+	if !strings.HasPrefix(contentType, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", contentType)
+	}
+
+	for _, line := range []string{
+		"awakemisd_engine_runs_total 1",
+		"awakemisd_jobs_submitted_total 1",
+		"awakemisd_jobs_completed_total 1",
+		"awakemisd_queue_depth 0",
+		"awakemisd_draining 0",
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+	// The POST that submitted the job was itself instrumented.
+	if !strings.Contains(body, `awakemisd_http_request_duration_seconds_count{route="POST /v1/jobs"} 1`) {
+		t.Errorf("metrics missing the POST /v1/jobs latency count:\n%.2000s", body)
+	}
+	if !strings.Contains(body, `awakemisd_http_request_duration_seconds_bucket{route="POST /v1/jobs",le="+Inf"} 1`) {
+		t.Error("metrics missing the +Inf histogram bucket")
+	}
+	if !strings.Contains(body, "# TYPE awakemisd_http_request_duration_seconds histogram") {
+		t.Error("metrics missing the histogram TYPE header")
+	}
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	_, c := newTestServer(t, service.Config{})
+	resp, err := http.Get(c.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /metrics without Config.Metrics = %d, want 404", resp.StatusCode)
+	}
+}

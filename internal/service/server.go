@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"net/http"
 	"runtime"
 	"sync"
 
 	"awakemis"
+	"awakemis/internal/store"
 )
 
 // Config sizes a Server. The zero value is usable; every field has a
@@ -33,6 +35,32 @@ type Config struct {
 	// JobHistory caps how many finished jobs stay queryable; the oldest
 	// finished jobs are forgotten first (0 means 4096).
 	JobHistory int
+	// Store, when non-nil, is the persistent tier under the in-memory
+	// report cache: completed reports are written through to it and
+	// cache misses fall back to it, so reports survive restarts and
+	// grow past the memory budget. The caller opens it (store.Open)
+	// and closes it after Shutdown.
+	Store *store.Store
+	// Forward, when non-nil, turns the server into a cluster front:
+	// instead of running simulations locally, workers hand each flight
+	// to the Forwarder (which shards across worker daemons). The local
+	// cache, store, singleflight, queue, and study executor all still
+	// apply — the front deduplicates cluster-wide before any peer sees
+	// a job, and EngineRuns stays zero.
+	Forward Forwarder
+	// Metrics enables GET /metrics (Prometheus text format) and the
+	// per-route request latency histograms behind it.
+	Metrics bool
+}
+
+// Forwarder executes a flight on a remote worker daemon on behalf of
+// a front server. Forward returns the peer's exact report bytes (the
+// byte-identity contract extends across the cluster) and the address
+// of the peer that served it. Implemented by internal/cluster.Front.
+type Forwarder interface {
+	Forward(ctx context.Context, spec awakemis.Spec) (report []byte, peer string, err error)
+	// PeerHealth reports every configured peer's last known health.
+	PeerHealth() map[string]bool
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +184,30 @@ type Stats struct {
 	QueueDepth int  `json:"queue_depth"`
 	InFlight   int  `json:"inflight"`
 	Draining   bool `json:"draining"`
+
+	// Persistent store tier (all omitempty: the wire shape is
+	// unchanged unless a store is configured). StoreHits count cache
+	// misses served from disk; StoreBytes/StoreEntries meter the
+	// record files; StoreCorrupt counts records discarded by
+	// checksum verification; StoreErrors counts failed write-throughs.
+	StoreHits      int64 `json:"store_hits,omitempty"`
+	StoreMisses    int64 `json:"store_misses,omitempty"`
+	StoreEntries   int64 `json:"store_entries,omitempty"`
+	StoreBytes     int64 `json:"store_bytes,omitempty"`
+	StoreBudget    int64 `json:"store_budget_bytes,omitempty"`
+	StoreEvictions int64 `json:"store_evictions,omitempty"`
+	StoreCorrupt   int64 `json:"store_corrupt,omitempty"`
+	StoreErrors    int64 `json:"store_errors,omitempty"`
+
+	// Cluster forwarding (all omitempty: present only on a front
+	// daemon). Forwarded counts flights served by a peer, attributed
+	// per peer in PeerForwards; ForwardErrors counts flights no peer
+	// could serve.
+	Forwarded     int64            `json:"forwarded,omitempty"`
+	ForwardErrors int64            `json:"forward_errors,omitempty"`
+	PeerForwards  map[string]int64 `json:"peer_forwards,omitempty"`
+	PeersHealthy  int              `json:"peers_healthy,omitempty"`
+	PeersTotal    int              `json:"peers_total,omitempty"`
 }
 
 // Server is the awakemisd core: a bounded queue of deduplicated
@@ -176,11 +228,15 @@ type Server struct {
 	// under mu (not a channel) so canceling every waiter of a queued
 	// flight can remove it immediately — abandoned flights neither
 	// occupy bounded-queue capacity nor reach a worker.
-	queue    []*flight
-	cache    *reportCache
-	stats    Stats
-	draining bool
-	seq      int
+	queue []*flight
+	cache *tieredCache
+	// fwd delegates execution to a cluster of worker daemons (nil =
+	// run locally); peerForwards attributes served flights per peer.
+	fwd          Forwarder
+	peerForwards map[string]int64
+	stats        Stats
+	draining     bool
+	seq          int
 
 	// Studies: each submission fans out into sub-jobs through the same
 	// Submit path (cache, coalescing, bounded queue) and aggregates
@@ -193,18 +249,22 @@ type Server struct {
 	cancelRuns context.CancelFunc
 	wg         sync.WaitGroup
 	mux        *http.ServeMux
+	handler    http.Handler // mux, latency-instrumented when Metrics
+	metrics    *metricsState
 }
 
 // New starts a Server: its workers run until Shutdown.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		perRun:   max(1, cfg.SimWorkers/cfg.Workers),
-		jobs:     map[string]*job{},
-		inflight: map[string]*flight{},
-		studies:  map[string]*studyRun{},
-		cache:    newReportCache(cfg.CacheBytes),
+		cfg:          cfg,
+		perRun:       max(1, cfg.SimWorkers/cfg.Workers),
+		jobs:         map[string]*job{},
+		inflight:     map[string]*flight{},
+		studies:      map[string]*studyRun{},
+		cache:        newTieredCache(cfg.CacheBytes, cfg.Store),
+		fwd:          cfg.Forward,
+		peerForwards: map[string]int64{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
@@ -218,6 +278,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.handler = s.mux
+	if cfg.Metrics {
+		s.metrics = newMetricsState()
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.handler = s.instrument(s.mux)
+	}
 	for range cfg.Workers {
 		s.wg.Add(1)
 		go s.worker()
@@ -226,7 +292,7 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shutdown drains the server: new submissions are rejected, queued
 // and running simulations finish, then the workers and study
@@ -300,16 +366,8 @@ func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error
 		done: make(chan struct{}),
 	}
 
-	if data, ok := s.cache.get(hash); ok {
-		s.stats.JobsSubmitted++
-		s.stats.CacheHits++
-		s.stats.JobsCompleted++
-		j.Status = JobDone
-		j.Cached = true
-		j.Report = data
-		s.jobs[j.ID] = j
-		s.finishLocked(j)
-		return j, nil
+	if data, ok := s.cache.getMem(hash); ok {
+		return s.serveCachedLocked(j, data), nil
 	}
 	if f, ok := s.inflight[hash]; ok {
 		s.stats.JobsSubmitted++
@@ -321,8 +379,14 @@ func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error
 		s.jobs[j.ID] = j
 		return j, nil
 	}
+	// The persistent tier is consulted after the in-flight index so
+	// coalesced duplicates never pay for file I/O; a hit is promoted
+	// into the memory LRU by the cache itself.
+	if data, ok := s.cache.getDisk(hash); ok {
+		return s.serveCachedLocked(j, data), nil
+	}
 	if len(s.queue) >= s.cfg.QueueSize {
-		return nil, fmt.Errorf("%w: job queue is full (%d pending)", ErrUnavailable, s.cfg.QueueSize)
+		return nil, fmt.Errorf("%w: job queue is full (%d pending)", ErrOverloaded, s.cfg.QueueSize)
 	}
 	s.stats.JobsSubmitted++
 	s.stats.CacheMisses++
@@ -333,6 +397,21 @@ func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error
 	s.queue = append(s.queue, f)
 	s.cond.Signal()
 	return j, nil
+}
+
+// serveCachedLocked completes a fresh job from cached report bytes
+// (either tier): terminal immediately, no queue slot, no engine run.
+// Callers hold s.mu.
+func (s *Server) serveCachedLocked(j *job, data []byte) *job {
+	s.stats.JobsSubmitted++
+	s.stats.CacheHits++
+	s.stats.JobsCompleted++
+	j.Status = JobDone
+	j.Cached = true
+	j.Report = data
+	s.jobs[j.ID] = j
+	s.finishLocked(j)
+	return j
 }
 
 // Lookup returns the job's current wire view.
@@ -399,13 +478,32 @@ func (s *Server) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.CacheEntries = s.cache.len()
-	st.CacheBytes = s.cache.bytes
-	st.CacheBudget = s.cache.budget
-	st.CacheEvictions = s.cache.evicted
+	st.CacheEntries = s.cache.mem.len()
+	st.CacheBytes = s.cache.mem.bytes
+	st.CacheBudget = s.cache.mem.budget
+	st.CacheEvictions = s.cache.mem.evicted
 	st.QueueDepth = len(s.queue)
 	st.InFlight = len(s.inflight)
 	st.Draining = s.draining
+	if d := s.cache.disk; d != nil {
+		ds := d.Stats()
+		st.StoreHits, st.StoreMisses = ds.Hits, ds.Misses
+		st.StoreEntries, st.StoreBytes = ds.Entries, ds.Bytes
+		st.StoreBudget, st.StoreEvictions = ds.Budget, ds.Evictions
+		st.StoreCorrupt = ds.Corrupt
+	}
+	if s.fwd != nil {
+		health := s.fwd.PeerHealth()
+		st.PeersTotal = len(health)
+		for _, up := range health {
+			if up {
+				st.PeersHealthy++
+			}
+		}
+		if len(s.peerForwards) > 0 {
+			st.PeerForwards = maps.Clone(s.peerForwards)
+		}
+	}
 	return st
 }
 
@@ -434,17 +532,36 @@ func (s *Server) worker() {
 				j.Status = JobRunning
 			}
 		}
-		s.stats.EngineRuns++
+		if s.fwd == nil {
+			s.stats.EngineRuns++
+		}
 		s.mu.Unlock()
 
-		rep, err := awakemis.RunSpecWorkers(ctx, f.spec, s.perRun)
-		cancel()
 		var data []byte
-		if err == nil {
-			data, err = json.Marshal(rep)
+		var err error
+		var peer string
+		if s.fwd != nil {
+			// Front mode: a peer runs the simulation; data is the peer's
+			// exact report bytes, preserving byte identity cluster-wide.
+			data, peer, err = s.fwd.Forward(ctx, f.spec)
+		} else {
+			var rep *awakemis.Report
+			rep, err = awakemis.RunSpecWorkers(ctx, f.spec, s.perRun)
+			if err == nil {
+				data, err = json.Marshal(rep)
+			}
 		}
+		cancel()
 
 		s.mu.Lock()
+		if s.fwd != nil {
+			if err == nil {
+				s.stats.Forwarded++
+				s.peerForwards[peer]++
+			} else {
+				s.stats.ForwardErrors++
+			}
+		}
 		if s.inflight[f.hash] == f {
 			delete(s.inflight, f.hash)
 		}
@@ -464,7 +581,18 @@ func (s *Server) worker() {
 			s.finishLocked(j)
 		}
 		if err == nil {
-			s.cache.put(f.hash, data)
+			s.cache.putMem(f.hash, data)
+			if s.cache.hasDisk() {
+				// Persist outside the lock: gzip + fsync must not stall
+				// submissions. The record is content-addressed, so a
+				// concurrent equal write is an idempotent no-op.
+				s.mu.Unlock()
+				perr := s.cache.putDisk(f.hash, data)
+				s.mu.Lock()
+				if perr != nil {
+					s.stats.StoreErrors++
+				}
+			}
 		}
 	}
 }

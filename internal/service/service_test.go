@@ -317,6 +317,10 @@ func TestCancelRunningJobAbortsSimulation(t *testing.T) {
 // the queue is full gets 503; duplicates of queued work still attach.
 func TestQueueFullRejects(t *testing.T) {
 	_, c := newTestServer(t, service.Config{QueueSize: 1})
+	// This test observes the raw queue-full 503 (the client's backoff,
+	// tested in client/retry_test.go, would mask it by retrying until
+	// the blocker finishes).
+	c.MaxRetries = -1
 	ctx := context.Background()
 
 	blocker, err := c.Submit(ctx, blockerSpec(3000))
