@@ -121,8 +121,18 @@ type Options struct {
 	// zero fields take paper-faithful defaults.
 	Params core.Params `json:"params,omitempty"`
 	// Trace records per-node awake timelines and message-loss counters,
-	// exposed through Report.Timeline and Report.TraceSummary.
+	// exposed through Report.Timeline and Report.TraceSummary. The
+	// recorded node set is sampled (first trace.DefaultMaxNodes ids) so
+	// tracing stays bounded on million-node graphs.
 	Trace bool `json:"trace,omitempty"`
+	// RoundSummary embeds the compact, deterministic per-round block in
+	// the Report (Report.RoundSummary). Unlike Trace it affects report
+	// bytes, so it participates in spec canonicalization and caching.
+	RoundSummary bool `json:"round_summary,omitempty"`
+	// Observer, if non-nil, receives one RoundStat per executed round.
+	// Local-only: it is never serialized and never affects results or
+	// report bytes.
+	Observer RoundObserver `json:"-"`
 }
 
 // simConfig resolves the options into an engine configuration. workers

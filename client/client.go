@@ -6,6 +6,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -19,7 +20,23 @@ import (
 	"time"
 
 	"awakemis"
+	"awakemis/internal/traceid"
 )
+
+// TraceIDHeader is the HTTP header carrying the request trace id. The
+// client stamps it on every request whose context carries an id (see
+// WithTraceID); Submit/SubmitStudy/Run mint one when absent, so every
+// submission is greppable across the daemons it touches.
+const TraceIDHeader = traceid.Header
+
+// WithTraceID returns ctx carrying the given trace id; subsequent
+// client calls under this ctx stamp it on their requests.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return traceid.With(ctx, id)
+}
+
+// TraceID returns the trace id carried by ctx, or "".
+func TraceID(ctx context.Context) string { return traceid.From(ctx) }
 
 // JobStatus mirrors the service's job lifecycle states.
 type JobStatus string
@@ -47,6 +64,28 @@ type Job struct {
 	Cached bool            `json:"cached,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Report json.RawMessage `json:"report,omitempty"`
+	// TraceID is the trace id the submission carried (or the daemon
+	// minted for it).
+	TraceID string `json:"trace_id,omitempty"`
+	// Progress is the live view of the running simulation, present
+	// while the job runs.
+	Progress *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress mirrors the service's live job-progress block.
+type JobProgress struct {
+	// Rounds is the round horizon reached; Executed counts rounds
+	// actually executed (all-asleep rounds are skipped).
+	Rounds   int64 `json:"rounds"`
+	Executed int64 `json:"executed"`
+	// Awake is the awake-node count of the last observed round;
+	// AwakeFrac the same over the graph size.
+	Awake     int     `json:"awake"`
+	AwakeFrac float64 `json:"awake_frac"`
+	// ElapsedMS is wall time since the simulation started; ETAMS the
+	// server's remaining-time estimate (0 until the awake count decays).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ETAMS     float64 `json:"eta_ms,omitempty"`
 }
 
 // DecodeReport unmarshals the job's Report (Status must be "done").
@@ -111,6 +150,27 @@ type Stats struct {
 	PeerForwards  map[string]int64 `json:"peer_forwards,omitempty"`
 	PeersHealthy  int              `json:"peers_healthy,omitempty"`
 	PeersTotal    int              `json:"peers_total,omitempty"`
+
+	// Engine-level telemetry (omitted until a local simulation
+	// executes a round).
+	RoundsSimulated int64   `json:"rounds_simulated,omitempty"`
+	SimSeconds      float64 `json:"sim_seconds,omitempty"`
+
+	// Build identity of the serving daemon (mirrors Health).
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+}
+
+// Health is the /v1/healthz payload: liveness plus the daemon's build
+// identity.
+type Health struct {
+	Status    string `json:"status"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the server's JSON error
@@ -184,6 +244,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	traceid.Stamp(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -254,8 +315,11 @@ func (c *Client) submitBackoff(ctx context.Context, path string, body, out any) 
 
 // Submit posts one spec and returns its job — possibly already done
 // when served from the report cache. Queue-full rejections are
-// retried with backoff (see MaxRetries).
+// retried with backoff (see MaxRetries). The submission runs under
+// the ctx's trace id, minting one if absent, so every retry and the
+// daemon-side records share it.
 func (c *Client) Submit(ctx context.Context, spec awakemis.Spec) (*Job, error) {
+	ctx, _ = traceid.Ensure(ctx)
 	var job Job
 	if err := c.submitBackoff(ctx, "/v1/jobs", spec, &job); err != nil {
 		return nil, err
@@ -322,16 +386,84 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 		func(j *Job) bool { return j.Status.Terminal() }, nil)
 }
 
+// WaitJob follows the job to a terminal state, preferring the server's
+// SSE event stream (GET /v1/jobs/{id}/events) — every state change,
+// including live progress, arrives as it happens — and transparently
+// falling back to Wait's polling loop against daemons without the
+// stream. onUpdate, when non-nil, observes every received state.
+func (c *Client) WaitJob(ctx context.Context, id string, onUpdate func(*Job)) (*Job, error) {
+	job, err := c.waitSSE(ctx, id, onUpdate)
+	if err == nil {
+		return job, nil
+	}
+	if ctx.Err() != nil {
+		return job, ctx.Err()
+	}
+	// The stream failed mid-flight or isn't served (older daemon,
+	// buffering proxy): fall back to polling.
+	return poll(ctx, c,
+		func(ctx context.Context) (*Job, error) { return c.Job(ctx, id) },
+		func(j *Job) bool { return j.Status.Terminal() }, onUpdate)
+}
+
+// errNoStream marks an events endpoint that did not produce an SSE
+// stream; WaitJob falls back to polling.
+var errNoStream = errors.New("client: no event stream")
+
+// waitSSE consumes the job's SSE stream until a terminal state.
+func (c *Client) waitSSE(ctx context.Context, id string, onUpdate func(*Job)) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	traceid.Stamp(ctx, req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, errNoStream
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil, errNoStream
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // a done frame carries the full report
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var job Job
+		if err := json.Unmarshal([]byte(data), &job); err != nil {
+			return nil, errNoStream
+		}
+		if onUpdate != nil {
+			onUpdate(&job)
+		}
+		if job.Status.Terminal() {
+			return &job, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errNoStream // stream ended without a terminal state
+}
+
 // Run submits the spec and waits for its Report: the remote
 // equivalent of awakemis.RunSpec. A failed or canceled job is an
 // error.
 func (c *Client) Run(ctx context.Context, spec awakemis.Spec) (*awakemis.Report, error) {
+	ctx, _ = traceid.Ensure(ctx)
 	job, err := c.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
 	if !job.Status.Terminal() {
-		if job, err = c.Wait(ctx, job.ID); err != nil {
+		if job, err = c.WaitJob(ctx, job.ID, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -374,8 +506,10 @@ func (st *Study) DecodeResult() (*awakemis.StudyResult, error) {
 
 // SubmitStudy posts one StudySpec; the study expands and aggregates
 // asynchronously (poll WaitStudy). Queue-full rejections are retried
-// with backoff (see MaxRetries).
+// with backoff (see MaxRetries). The study runs under the ctx's trace
+// id, minting one if absent; every sub-job inherits it.
 func (c *Client) SubmitStudy(ctx context.Context, ss awakemis.StudySpec) (*Study, error) {
+	ctx, _ = traceid.Ensure(ctx)
 	var study Study
 	if err := c.submitBackoff(ctx, "/v1/studies", ss, &study); err != nil {
 		return nil, err
@@ -452,17 +586,15 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	return &st, nil
 }
 
-// Health checks /v1/healthz; a draining or unreachable server is an
-// error.
-func (c *Client) Health(ctx context.Context) error {
-	var status struct {
-		Status string `json:"status"`
+// Health checks /v1/healthz and returns the daemon's build identity.
+// A draining or unreachable server is an error (with a nil Health).
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return nil, err
 	}
-	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &status); err != nil {
-		return err
+	if h.Status != "ok" {
+		return nil, errors.New("awakemisd: health status " + h.Status)
 	}
-	if status.Status != "ok" {
-		return errors.New("awakemisd: health status " + status.Status)
-	}
-	return nil
+	return &h, nil
 }

@@ -39,6 +39,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -80,6 +81,8 @@ func main() {
 		list     = flag.Bool("list", false, "list tasks and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
+		runlog   = flag.String("runlog", "", "stream one JSON line per executed round to this file (\"-\" = stdout)")
+		roundSum = flag.Bool("round-summary", false, "include the compact per-round summary block in the Report")
 	)
 	flag.Parse()
 
@@ -135,10 +138,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	rep, err := awakemis.RunTaskContext(ctx, g, *algo, awakemis.Options{
+	opt := awakemis.Options{
 		Seed: *seed, Strict: *strict, Trace: *timeline > 0,
 		Engine: awakemis.Engine(*engine), Workers: *workers,
-	})
+		RoundSummary: *roundSum,
+	}
+	var rl *runlogWriter
+	if *runlog != "" {
+		if rl, err = openRunlog(*runlog); err != nil {
+			fail(err)
+		}
+		opt.Observer = rl
+	}
+	rep, err := awakemis.RunTaskContext(ctx, g, *algo, opt)
+	if rl != nil {
+		if cerr := rl.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -170,6 +187,54 @@ func main() {
 		fmt.Printf("awake timeline of the %d busiest nodes:\n", *timeline)
 		fmt.Print(rep.Timeline(*timeline, 100))
 	}
+}
+
+// runlogWriter streams the run-log (-runlog): one JSON-encoded
+// RoundStat per line, written from the engine goroutine through a
+// buffered writer. The first write error sticks and is surfaced at
+// close — the simulation itself is never interrupted by a full disk.
+type runlogWriter struct {
+	f   *os.File // nil for stdout
+	buf *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func openRunlog(path string) (*runlogWriter, error) {
+	l := &runlogWriter{}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		l.f, out = f, f
+	}
+	l.buf = bufio.NewWriterSize(out, 1<<16)
+	l.enc = json.NewEncoder(l.buf)
+	return l, nil
+}
+
+func (l *runlogWriter) ObserveRound(st awakemis.RoundStat) {
+	if l.err == nil {
+		l.err = l.enc.Encode(st)
+	}
+}
+
+func (l *runlogWriter) close() error {
+	err := l.err
+	if ferr := l.buf.Flush(); err == nil {
+		err = ferr
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	return nil
 }
 
 // outputLine summarizes the task's output for the text report.
@@ -258,7 +323,7 @@ func runBatch(ctx context.Context, path string, parallel, workers int, seed int6
 func submitBatch(ctx context.Context, path, server string, parallel int, seed int64) {
 	specs := loadSpecs(path)
 	c := client.New(server, nil)
-	if err := c.Health(ctx); err != nil {
+	if _, err := c.Health(ctx); err != nil {
 		fail(err)
 	}
 
@@ -281,7 +346,9 @@ func submitBatch(ctx context.Context, path, server string, parallel int, seed in
 			spec := resolver.Resolve(specs[i], i)
 			job, err := c.Submit(ctx, spec)
 			if err == nil && !job.Status.Terminal() {
-				job, err = c.Wait(ctx, job.ID)
+				// WaitJob follows the daemon's SSE event stream (falling
+				// back to polling), so completions arrive without poll lag.
+				job, err = c.WaitJob(ctx, job.ID, nil)
 			}
 			status := ""
 			switch {
@@ -397,7 +464,7 @@ func runStudy(ctx context.Context, path, server string, parallel, workers int, c
 // stderr as sub-runs finish.
 func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awakemis.StudyResult {
 	c := client.New(server, nil)
-	if err := c.Health(ctx); err != nil {
+	if _, err := c.Health(ctx); err != nil {
 		fail(err)
 	}
 	st, err := c.SubmitStudy(ctx, ss)

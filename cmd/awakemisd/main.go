@@ -17,19 +17,26 @@
 //	awakemisd -addr :7700 -store-dir /var/lib/awakemis/w1           # worker
 //	awakemisd -addr :7602 -peers 127.0.0.1:7700,127.0.0.1:7701      # front
 //
-// Endpoints (see the README's "Running as a service" and "Cluster
-// mode & persistence" sections):
+// Endpoints (see the README's "Running as a service", "Cluster mode &
+// persistence", and "Observability" sections):
 //
 //	POST   /v1/jobs         submit a Spec; 200 on cache hit, else 202
-//	GET    /v1/jobs/{id}    job status and, when done, its Report
+//	GET    /v1/jobs/{id}    job status, live progress, and (when done) its Report
+//	GET    /v1/jobs/{id}/events  SSE stream of the job's states until terminal
 //	DELETE /v1/jobs/{id}    cancel one submission (duplicates unaffected)
 //	POST   /v1/studies      submit a StudySpec grid; always 202
 //	GET    /v1/studies/{id} study progress and, when done, its artifact
 //	DELETE /v1/studies/{id} cancel a study and its unfinished sub-runs
 //	GET    /v1/tasks        the task registry
-//	GET    /v1/stats        cache/store/queue/job/study/peer counters
-//	GET    /v1/healthz      200 serving, 503 draining
+//	GET    /v1/stats        cache/store/queue/job/study/peer/engine counters
+//	GET    /v1/healthz      200 serving, 503 draining; body carries build info
 //	GET    /metrics         Prometheus text exposition (disable: -metrics=false)
+//
+// All logging is structured (log/slog) on stderr; -log-format picks
+// text or JSON records. Every request and job record carries the
+// X-Awakemis-Trace-Id it arrived with (minted when absent), so one
+// grep follows a submission across a whole cluster. -pprof exposes
+// net/http/pprof on a separate listener for live profiling.
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
 // and running simulations finish (up to -drain-timeout, then they are
@@ -41,15 +48,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"awakemis/internal/buildinfo"
 	"awakemis/internal/cluster"
 	"awakemis/internal/service"
 	"awakemis/internal/store"
@@ -68,8 +77,28 @@ func main() {
 		storeBudget = flag.Int64("store-budget", 0, "store byte budget in MiB (0 = 1024, negative unlimited)")
 		peers       = flag.String("peers", "", "comma-separated worker daemon addresses; makes this daemon a cluster front")
 		metrics     = flag.Bool("metrics", true, "serve Prometheus text metrics at GET /metrics")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
+		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown -log-format %q (want text|json)\n", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
 
 	cfg := service.Config{
 		Workers:    *workers,
@@ -78,6 +107,7 @@ func main() {
 		CacheBytes: *cacheMB << 20,
 		JobHistory: *history,
 		Metrics:    *metrics,
+		Logger:     logger,
 	}
 
 	if *storeDir != "" {
@@ -91,21 +121,44 @@ func main() {
 			os.Exit(1)
 		}
 		ss := st.Stats()
-		log.Printf("store %s: recovered %d records (%d bytes, budget %d)", st.Dir(), ss.Entries, ss.Bytes, ss.Budget)
+		logger.Info("store recovered", "dir", st.Dir(),
+			"entries", ss.Entries, "bytes", ss.Bytes, "budget", ss.Budget)
 		cfg.Store = st
 	}
 
 	var front *cluster.Front
 	if *peers != "" {
 		var err error
-		front, err = cluster.New(strings.Split(*peers, ","), cluster.Options{})
+		front, err = cluster.New(strings.Split(*peers, ","), cluster.Options{Logger: logger})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		front.Start()
 		cfg.Forward = front
-		log.Printf("cluster front: sharding across %d peers", len(front.PeerHealth()))
+		logger.Info("cluster front", "peers", len(front.PeerHealth()))
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the profiling
+		// surface never shares a port with the public API.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error: pprof listen:", err)
+			os.Exit(1)
+		}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				logger.Error("pprof serve", "error", err.Error())
+			}
+		}()
 	}
 
 	srv := service.New(cfg)
@@ -116,7 +169,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	log.Printf("awakemisd listening on %s", ln.Addr())
+	bi := buildinfo.Get()
+	logger.Info("awakemisd listening", "addr", ln.Addr().String(),
+		"version", bi.Version, "revision", bi.Revision, "go", bi.GoVersion)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -125,9 +180,10 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %s, draining (timeout %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve", "error", err.Error())
+		os.Exit(1)
 	}
 
 	// Drain the job queue first — new submissions already get 503, but
@@ -138,9 +194,9 @@ func main() {
 	defer cancelDrain()
 	switch err := srv.Shutdown(drainCtx); {
 	case errors.Is(err, context.DeadlineExceeded):
-		log.Printf("drain timed out; in-flight simulations were canceled")
+		logger.Warn("drain timed out; in-flight simulations were canceled")
 	case err != nil:
-		log.Printf("drain: %v", err)
+		logger.Warn("drain", "error", err.Error())
 	}
 	if front != nil {
 		front.Close()
@@ -151,7 +207,7 @@ func main() {
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := httpSrv.Shutdown(httpCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
-	log.Printf("awakemisd stopped")
+	logger.Info("awakemisd stopped")
 }

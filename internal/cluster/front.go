@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -27,7 +28,19 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// Replicas is the ring's virtual-node count per peer (0 means 64).
 	Replicas int
+	// Logger receives structured records for forwards, reroutes, and
+	// peer health transitions (nil silences them).
+	Logger *slog.Logger
 }
+
+// noopHandler silences a nil Options.Logger (slog.DiscardHandler
+// needs Go 1.24; the repo still tests on 1.23).
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
 
 // Front shards flights across worker daemons: consistent hashing by
 // canonical spec hash picks the owner, unhealthy peers are skipped,
@@ -41,6 +54,7 @@ type Front struct {
 
 	interval time.Duration
 	timeout  time.Duration
+	logger   *slog.Logger
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -83,7 +97,11 @@ func New(addrs []string, opts Options) (*Front, error) {
 		peers:    make(map[string]*peer, len(normalized)),
 		interval: opts.HealthInterval,
 		timeout:  opts.ProbeTimeout,
+		logger:   opts.Logger,
 		stop:     make(chan struct{}),
+	}
+	if f.logger == nil {
+		f.logger = slog.New(noopHandler{})
 	}
 	for _, addr := range f.ring.Peers() {
 		p := &peer{addr: addr, client: client.New(addr, opts.HTTPClient)}
@@ -123,7 +141,7 @@ func (f *Front) Close() {
 	f.wg.Wait()
 }
 
-// probe health-checks every peer concurrently.
+// probe health-checks every peer concurrently, logging transitions.
 func (f *Front) probe() {
 	var wg sync.WaitGroup
 	for _, p := range f.peers {
@@ -132,7 +150,15 @@ func (f *Front) probe() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
 			defer cancel()
-			p.healthy.Store(p.client.Health(ctx) == nil)
+			_, err := p.client.Health(ctx)
+			up := err == nil
+			if was := p.healthy.Swap(up); was != up {
+				if up {
+					f.logger.Info("peer recovered", "peer", p.addr)
+				} else {
+					f.logger.Warn("peer unhealthy", "peer", p.addr, "error", err.Error())
+				}
+			}
 		}(p)
 	}
 	wg.Wait()
@@ -179,8 +205,11 @@ func permanent(err error) bool {
 // failure. Healthy peers are tried first in ring order; if every
 // healthy peer fails, the unhealthy ones get a last-resort attempt
 // (the prober may simply not have noticed a recovery yet). The
-// returned bytes are the serving peer's exact report bytes.
-func (f *Front) Forward(ctx context.Context, spec awakemis.Spec) ([]byte, string, error) {
+// returned bytes are the serving peer's exact report bytes; progress,
+// when non-nil, receives the owning peer's live job-progress views.
+// The trace id carried by ctx rides the forwarded requests, so the
+// worker daemon's logs join the submitter's trail.
+func (f *Front) Forward(ctx context.Context, spec awakemis.Spec, progress func(service.JobProgress)) ([]byte, string, error) {
 	hash, err := service.Hash(spec)
 	if err != nil {
 		return nil, "", err
@@ -198,12 +227,15 @@ func (f *Front) Forward(ctx context.Context, spec awakemis.Spec) ([]byte, string
 		}
 	}
 	var lastErr error
-	for _, addr := range candidates {
+	for i, addr := range candidates {
 		if err := ctx.Err(); err != nil {
 			return nil, "", err
 		}
 		p := f.peers[addr]
-		data, err := f.runOn(ctx, p, spec)
+		if i > 0 {
+			f.logger.Info("rerouting flight", "hash", hash, "peer", addr, "attempt", i+1)
+		}
+		data, err := f.runOn(ctx, p, spec, progress)
 		if err == nil {
 			p.healthy.Store(true)
 			return data, addr, nil
@@ -217,14 +249,31 @@ func (f *Front) Forward(ctx context.Context, spec awakemis.Spec) ([]byte, string
 	return nil, "", fmt.Errorf("cluster: all %d peers failed: %w", len(candidates), lastErr)
 }
 
-// runOn submits the spec to one peer and waits for its report bytes.
-func (f *Front) runOn(ctx context.Context, p *peer, spec awakemis.Spec) ([]byte, error) {
+// runOn submits the spec to one peer and waits for its report bytes,
+// relaying the peer's live progress views to the front's tracker.
+func (f *Front) runOn(ctx context.Context, p *peer, spec awakemis.Spec, progress func(service.JobProgress)) ([]byte, error) {
 	job, err := p.client.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
 	if !job.Status.Terminal() {
-		if job, err = p.client.Wait(ctx, job.ID); err != nil {
+		var onUpdate func(*client.Job)
+		if progress != nil {
+			onUpdate = func(j *client.Job) {
+				if j.Progress == nil {
+					return
+				}
+				progress(service.JobProgress{
+					Rounds:    j.Progress.Rounds,
+					Executed:  j.Progress.Executed,
+					Awake:     j.Progress.Awake,
+					AwakeFrac: j.Progress.AwakeFrac,
+					ElapsedMS: j.Progress.ElapsedMS,
+					ETAMS:     j.Progress.ETAMS,
+				})
+			}
+		}
+		if job, err = p.client.WaitJob(ctx, job.ID, onUpdate); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// eventPollInterval paces the SSE change detector between completion
+// signals: snapshots are cheap (one lock, one small marshal), and the
+// job's done channel delivers the terminal transition immediately
+// regardless.
+const eventPollInterval = 120 * time.Millisecond
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of the job's wire view. One `data:` frame is sent
+// immediately, another whenever the view changes (progress updates,
+// status transitions), and a final one at the terminal state, after
+// which the stream closes. Clients (client.WaitJob, curl -N, EventSource)
+// follow a run live instead of polling.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var done chan struct{}
+	if ok {
+		done = j.done
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no job %s", ErrNotFound, id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	var last []byte
+	// send emits a frame when the job view changed; false means the job
+	// was forgotten (history cap) and the stream should end.
+	send := func() bool {
+		job, ok := s.Lookup(id)
+		if !ok {
+			return false
+		}
+		data, err := json.Marshal(job)
+		if err != nil {
+			return false
+		}
+		if bytes.Equal(data, last) {
+			return true
+		}
+		last = data
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		fl.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+
+	ticker := time.NewTicker(eventPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			send() // the terminal frame
+			return
+		case <-ticker.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}

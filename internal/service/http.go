@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"awakemis"
+	"awakemis/internal/buildinfo"
+	"awakemis/internal/traceid"
 )
 
 // Sentinel errors the API layer maps to HTTP statuses; together with
@@ -38,6 +41,71 @@ type TaskInfo struct {
 // apiError is the JSON error envelope every non-2xx response carries.
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// statusWriter captures the response status for the request log while
+// passing Flush through — the SSE stream needs the flusher even behind
+// the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// middleware wraps every route with the cross-cutting request
+// concerns: adopt (or mint) the X-Awakemis-Trace-Id header into the
+// request context and echo it on the response, emit one structured
+// request record, and — when metrics are on — feed the per-route
+// latency histogram. The route label is the matched ServeMux pattern
+// ("POST /v1/jobs", "GET /v1/jobs/{id}", ...), so path parameters
+// never explode label cardinality; unmatched requests group under
+// "other".
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := traceid.FromRequest(r)
+		if id == "" {
+			id = traceid.New()
+		}
+		w.Header().Set(traceid.Header, id)
+		r = r.WithContext(traceid.With(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "other"
+		}
+		elapsed := time.Since(start)
+		if s.metrics != nil {
+			s.metrics.observe(route, elapsed.Seconds())
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.logger.Info("http request",
+			"trace_id", id, "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", status, "duration_ns", elapsed.Nanoseconds())
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -84,7 +152,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: decoding spec: %s", awakemis.ErrInvalidSpec, err))
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitTraced(spec, traceid.From(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -129,7 +197,7 @@ func (s *Server) handleSubmitStudy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: decoding study spec: %s", awakemis.ErrInvalidSpec, err))
 		return
 	}
-	study, err := s.SubmitStudy(ss)
+	study, err := s.SubmitStudyTraced(ss, traceid.From(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -173,15 +241,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
+// healthPayload is the /v1/healthz body: liveness plus the build
+// identity of the serving binary, so every daemon in a cluster can be
+// identified from the outside.
+type healthPayload struct {
+	Status string `json:"status"`
+	buildinfo.Info
+}
+
 // handleHealthz is GET /v1/healthz: 200 while serving, 503 while
-// draining.
+// draining; either way the body carries the daemon's build info.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	payload := healthPayload{Status: "ok", Info: buildinfo.Get()}
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		payload.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, payload)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, payload)
 }

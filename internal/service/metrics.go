@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 )
 
 // The operational surface: GET /metrics in Prometheus text format,
@@ -33,14 +32,20 @@ type histogram struct {
 	total  int64
 }
 
-// metricsState guards the per-route histograms.
+// metricsState guards the per-route latency histograms and the
+// queue-wait histogram (how long flights sat queued before a worker
+// picked them up).
 type metricsState struct {
-	mu     sync.Mutex
-	routes map[string]*histogram
+	mu        sync.Mutex
+	routes    map[string]*histogram
+	queueWait histogram
 }
 
 func newMetricsState() *metricsState {
-	return &metricsState{routes: map[string]*histogram{}}
+	return &metricsState{
+		routes:    map[string]*histogram{},
+		queueWait: histogram{counts: make([]int64, len(latencyBuckets)+1)},
+	}
 }
 
 // observe records one request's duration under its route label.
@@ -52,27 +57,21 @@ func (m *metricsState) observe(route string, seconds float64) {
 		h = &histogram{counts: make([]int64, len(latencyBuckets)+1)}
 		m.routes[route] = h
 	}
+	h.observe(seconds)
+}
+
+// observeQueueWait records one flight's time in the queue.
+func (m *metricsState) observeQueueWait(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.observe(seconds)
+}
+
+func (h *histogram) observe(seconds float64) {
 	i := sort.SearchFloat64s(latencyBuckets, seconds)
 	h.counts[i]++
 	h.sum += seconds
 	h.total++
-}
-
-// instrument wraps the mux with latency collection. The route label
-// is the matched ServeMux pattern ("POST /v1/jobs", "GET
-// /v1/jobs/{id}", ...) — the mux records it on the request during
-// dispatch, so path parameters never explode label cardinality.
-// Unmatched requests are grouped under "other".
-func (s *Server) instrument(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		route := r.Pattern
-		if route == "" {
-			route = "other"
-		}
-		s.metrics.observe(route, time.Since(start).Seconds())
-	})
 }
 
 // handleMetrics is GET /metrics.
@@ -99,6 +98,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	scalar("awakemisd_jobs_canceled_total", "counter", "Jobs canceled by submitters.", st.JobsCanceled)
 	scalar("awakemisd_studies_submitted_total", "counter", "Studies accepted.", st.StudiesSubmitted)
 	scalar("awakemisd_studies_completed_total", "counter", "Studies that produced an artifact.", st.StudiesCompleted)
+	scalar("awakemisd_engine_rounds_simulated_total", "counter", "Rounds executed by local simulations.", st.RoundsSimulated)
+	scalar("awakemisd_sim_seconds_total", "counter", "Engine time spent by local simulations.", strconv.FormatFloat(st.SimSeconds, 'g', -1, 64))
 
 	if s.cache.hasDisk() {
 		scalar("awakemisd_store_hits_total", "counter", "Cache misses served from the persistent store.", st.StoreHits)
@@ -133,7 +134,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte(b.String()))
 }
 
-// renderLatency writes the per-route request duration histograms.
+// renderLatency writes the per-route request duration histograms and
+// the queue-wait histogram.
 func (s *Server) renderLatency(b *strings.Builder) {
 	const name = "awakemisd_http_request_duration_seconds"
 	s.metrics.mu.Lock()
@@ -145,18 +147,36 @@ func (s *Server) renderLatency(b *strings.Builder) {
 	sort.Strings(routes)
 	fmt.Fprintf(b, "# HELP %s HTTP request latency by mux route.\n# TYPE %s histogram\n", name, name)
 	for _, route := range routes {
-		h := s.metrics.routes[route]
-		label := labelQuote(route)
-		cum := int64(0)
-		for i, bound := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(b, "%s_bucket{route=%s,le=%q} %d\n", name, label, strconv.FormatFloat(bound, 'g', -1, 64), cum)
-		}
-		cum += h.counts[len(latencyBuckets)]
-		fmt.Fprintf(b, "%s_bucket{route=%s,le=\"+Inf\"} %d\n", name, label, cum)
-		fmt.Fprintf(b, "%s_sum{route=%s} %s\n", name, label, strconv.FormatFloat(h.sum, 'g', -1, 64))
-		fmt.Fprintf(b, "%s_count{route=%s} %d\n", name, label, h.total)
+		renderHistogram(b, name, "route="+labelQuote(route), s.metrics.routes[route])
 	}
+
+	const qname = "awakemisd_queue_wait_seconds"
+	fmt.Fprintf(b, "# HELP %s Time flights spent queued before a worker picked them up.\n# TYPE %s histogram\n", qname, qname)
+	renderHistogram(b, qname, "", &s.metrics.queueWait)
+}
+
+// renderHistogram writes one histogram's bucket/sum/count lines; label
+// is a preformatted `name="value"` pair, or "" for a bare histogram.
+func renderHistogram(b *strings.Builder, name, label string, h *histogram) {
+	le := func(bound string) string {
+		if label == "" {
+			return fmt.Sprintf("{le=%q}", bound)
+		}
+		return fmt.Sprintf("{%s,le=%q}", label, bound)
+	}
+	cum := int64(0)
+	for i, bound := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, le(strconv.FormatFloat(bound, 'g', -1, 64)), cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, le("+Inf"), cum)
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, strconv.FormatFloat(h.sum, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.total)
 }
 
 // labelQuote escapes a label value per the Prometheus text format.

@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"maps"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"awakemis"
+	"awakemis/internal/buildinfo"
 	"awakemis/internal/store"
+	"awakemis/internal/traceid"
 )
 
 // Config sizes a Server. The zero value is usable; every field has a
@@ -51,17 +55,34 @@ type Config struct {
 	// Metrics enables GET /metrics (Prometheus text format) and the
 	// per-route request latency histograms behind it.
 	Metrics bool
+	// Logger receives the server's structured records: one per HTTP
+	// request (trace id, route, status, duration) and one per job start
+	// and end (trace id, spec hash, task, queue wait, run time, peer).
+	// Nil silences them — tests and embedders opt in explicitly.
+	Logger *slog.Logger
 }
 
 // Forwarder executes a flight on a remote worker daemon on behalf of
 // a front server. Forward returns the peer's exact report bytes (the
 // byte-identity contract extends across the cluster) and the address
-// of the peer that served it. Implemented by internal/cluster.Front.
+// of the peer that served it; progress, when non-nil, receives relayed
+// live-progress views from the peer while the run executes. The trace
+// id carried by ctx (traceid.From) must be propagated to the peer.
+// Implemented by internal/cluster.Front.
 type Forwarder interface {
-	Forward(ctx context.Context, spec awakemis.Spec) (report []byte, peer string, err error)
+	Forward(ctx context.Context, spec awakemis.Spec, progress func(JobProgress)) (report []byte, peer string, err error)
 	// PeerHealth reports every configured peer's last known health.
 	PeerHealth() map[string]bool
 }
+
+// noopHandler is the zero-cost slog sink behind a nil Config.Logger.
+// (slog.DiscardHandler needs Go 1.24; the repo still tests on 1.23.)
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -123,6 +144,13 @@ type Job struct {
 	// Report holds the run's Report (the exact cached bytes — equal
 	// specs always receive bit-identical reports) when Status is "done".
 	Report json.RawMessage `json:"report,omitempty"`
+	// TraceID is the request trace id the submission carried (or was
+	// minted), greppable across every daemon the job touched.
+	TraceID string `json:"trace_id,omitempty"`
+	// Progress is the live view of the running simulation, attached
+	// while the flight executes and dropped once terminal (the Report
+	// then carries the full story).
+	Progress *JobProgress `json:"progress,omitempty"`
 }
 
 // job is a Job plus the server-side bookkeeping that never leaves the
@@ -152,6 +180,16 @@ type flight struct {
 	// (nil until a worker picks the flight up).
 	cancel context.CancelFunc
 	state  JobStatus // JobQueued until a worker starts it
+	// traceID is the first submitter's trace id — the one the run (and
+	// any cluster forward) executes under. Coalesced duplicates keep
+	// their own ids on their jobs.
+	traceID string
+	// enqueued is when the flight entered the queue (queue-wait
+	// telemetry).
+	enqueued time.Time
+	// tracker observes the running simulation for live progress (nil
+	// until a worker picks the flight up).
+	tracker *progressTracker
 }
 
 // Stats is the /v1/stats payload: cache effectiveness, queue
@@ -208,6 +246,21 @@ type Stats struct {
 	PeerForwards  map[string]int64 `json:"peer_forwards,omitempty"`
 	PeersHealthy  int              `json:"peers_healthy,omitempty"`
 	PeersTotal    int              `json:"peers_total,omitempty"`
+
+	// Engine-level telemetry (omitempty: zero until a local simulation
+	// executes a round — always zero on a pure front). RoundsSimulated
+	// totals executed rounds across all local runs; SimSeconds totals
+	// the engine time they took.
+	RoundsSimulated int64   `json:"rounds_simulated,omitempty"`
+	SimSeconds      float64 `json:"sim_seconds,omitempty"`
+
+	// Build identity of the serving daemon (omitempty: absent when the
+	// binary carries no module/VCS metadata). Mirrors /v1/healthz and
+	// `awakemisd -version`.
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // Server is the awakemisd core: a bounded queue of deduplicated
@@ -235,6 +288,7 @@ type Server struct {
 	fwd          Forwarder
 	peerForwards map[string]int64
 	stats        Stats
+	simNS        int64 // engine time across local runs (Stats.SimSeconds)
 	draining     bool
 	seq          int
 
@@ -249,8 +303,9 @@ type Server struct {
 	cancelRuns context.CancelFunc
 	wg         sync.WaitGroup
 	mux        *http.ServeMux
-	handler    http.Handler // mux, latency-instrumented when Metrics
+	handler    http.Handler // mux behind the trace/log/metrics middleware
 	metrics    *metricsState
+	logger     *slog.Logger
 }
 
 // New starts a Server: its workers run until Shutdown.
@@ -265,12 +320,17 @@ func New(cfg Config) *Server {
 		cache:        newTieredCache(cfg.CacheBytes, cfg.Store),
 		fwd:          cfg.Forward,
 		peerForwards: map[string]int64{},
+		logger:       cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = slog.New(noopHandler{})
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancelRuns = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/studies", s.handleSubmitStudy)
 	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGetStudy)
@@ -278,12 +338,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.handler = s.mux
 	if cfg.Metrics {
 		s.metrics = newMetricsState()
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-		s.handler = s.instrument(s.mux)
 	}
+	// Trace-id adoption and request logging apply to every route;
+	// latency histograms only when Metrics is on.
+	s.handler = s.middleware(s.mux)
 	for range cfg.Workers {
 		s.wg.Add(1)
 		go s.worker()
@@ -332,6 +393,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // or queued as a new flight. The error is ErrInvalidSpec-wrapping for
 // malformed specs and ErrUnavailable-wrapping when draining or full.
 func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit carrying the submitter's trace id: the job
+// records it, and a new flight runs (and forwards) under it, so one
+// grep follows the job across every daemon.
+func (s *Server) SubmitTraced(spec awakemis.Spec, traceID string) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -342,7 +410,7 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, err := s.submitLocked(canonical, hash)
+	j, err := s.submitLocked(canonical, hash, traceID)
 	if err != nil {
 		return Job{}, err
 	}
@@ -351,17 +419,18 @@ func (s *Server) Submit(spec awakemis.Spec) (Job, error) {
 
 // submitLocked is the Submit core, shared with the study executor:
 // the spec is already canonical and hashed, and s.mu is held.
-func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error) {
+func (s *Server) submitLocked(canonical awakemis.Spec, hash, traceID string) (*job, error) {
 	if s.draining {
 		return nil, fmt.Errorf("%w: server is draining", ErrUnavailable)
 	}
 	s.seq++
 	j := &job{
 		Job: Job{
-			ID:     fmt.Sprintf("j-%06d", s.seq),
-			Hash:   hash,
-			Spec:   canonical,
-			Status: JobQueued,
+			ID:      fmt.Sprintf("j-%06d", s.seq),
+			Hash:    hash,
+			Spec:    canonical,
+			Status:  JobQueued,
+			TraceID: traceID,
 		},
 		done: make(chan struct{}),
 	}
@@ -390,7 +459,8 @@ func (s *Server) submitLocked(canonical awakemis.Spec, hash string) (*job, error
 	}
 	s.stats.JobsSubmitted++
 	s.stats.CacheMisses++
-	f := &flight{hash: hash, spec: canonical, jobs: []*job{j}, live: 1, state: JobQueued}
+	f := &flight{hash: hash, spec: canonical, jobs: []*job{j}, live: 1, state: JobQueued,
+		traceID: traceID, enqueued: time.Now()}
 	j.flight = f
 	s.inflight[hash] = f
 	s.jobs[j.ID] = j
@@ -414,15 +484,27 @@ func (s *Server) serveCachedLocked(j *job, data []byte) *job {
 	return j
 }
 
-// Lookup returns the job's current wire view.
+// Lookup returns the job's current wire view, with a live progress
+// snapshot attached while its simulation runs.
 func (s *Server) Lookup(id string) (Job, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return Job{}, false
 	}
-	return j.Job, true
+	wire := j.Job
+	var tracker *progressTracker
+	if j.flight != nil {
+		tracker = j.flight.tracker
+	}
+	s.mu.Unlock()
+	if tracker != nil {
+		// Snapshot outside s.mu: the tracker has its own lock, shared
+		// with the engine goroutine.
+		wire.Progress = tracker.snapshot()
+	}
+	return wire, true
 }
 
 // Cancel marks the job canceled. The shared simulation keeps running
@@ -478,6 +560,10 @@ func (s *Server) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.SimSeconds = float64(s.simNS) / 1e9
+	bi := buildinfo.Get()
+	st.Version, st.Revision = bi.Version, bi.Revision
+	st.BuildTime, st.GoVersion = bi.BuildTime, bi.GoVersion
 	st.CacheEntries = s.cache.mem.len()
 	st.CacheBytes = s.cache.mem.bytes
 	st.CacheBudget = s.cache.mem.budget
@@ -527,6 +613,8 @@ func (s *Server) worker() {
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		f.cancel = cancel
 		f.state = JobRunning
+		f.tracker = newProgressTracker(f.spec.Graph.N)
+		queueWait := time.Since(f.enqueued)
 		for _, j := range f.jobs {
 			if j.Status == JobQueued {
 				j.Status = JobRunning
@@ -535,7 +623,22 @@ func (s *Server) worker() {
 		if s.fwd == nil {
 			s.stats.EngineRuns++
 		}
+		waiters := len(f.jobs)
 		s.mu.Unlock()
+
+		if s.metrics != nil {
+			s.metrics.observeQueueWait(queueWait.Seconds())
+		}
+		// The run (and any forward) executes under the first submitter's
+		// trace id, so worker-daemon logs join the same trail.
+		if f.traceID != "" {
+			ctx = traceid.With(ctx, f.traceID)
+		}
+		s.logger.Info("job start",
+			"trace_id", f.traceID, "hash", f.hash,
+			"task", f.spec.Task, "graph_n", f.spec.Graph.N,
+			"queue_wait_ns", queueWait.Nanoseconds(), "waiters", waiters)
+		start := time.Now()
 
 		var data []byte
 		var err error
@@ -543,17 +646,34 @@ func (s *Server) worker() {
 		if s.fwd != nil {
 			// Front mode: a peer runs the simulation; data is the peer's
 			// exact report bytes, preserving byte identity cluster-wide.
-			data, peer, err = s.fwd.Forward(ctx, f.spec)
+			// The peer's progress views relay into this flight's tracker.
+			data, peer, err = s.fwd.Forward(ctx, f.spec, f.tracker.setRemote)
 		} else {
+			// The observer never reaches canonicalization or the wire:
+			// this copy of the canonical spec exists only to execute.
+			spec := f.spec
+			spec.Options.Observer = f.tracker
 			var rep *awakemis.Report
-			rep, err = awakemis.RunSpecWorkers(ctx, f.spec, s.perRun)
+			rep, err = awakemis.RunSpecWorkers(ctx, spec, s.perRun)
 			if err == nil {
 				data, err = json.Marshal(rep)
 			}
 		}
 		cancel()
 
+		status, errText := "done", ""
+		if err != nil {
+			status, errText = "failed", err.Error()
+		}
+		s.logger.Info("job end",
+			"trace_id", f.traceID, "hash", f.hash, "status", status,
+			"run_ns", time.Since(start).Nanoseconds(), "peer", peer,
+			"error", errText)
+
 		s.mu.Lock()
+		rounds, simNS := f.tracker.totals()
+		s.stats.RoundsSimulated += rounds
+		s.simNS += simNS
 		if s.fwd != nil {
 			if err == nil {
 				s.stats.Forwarded++

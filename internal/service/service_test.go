@@ -407,7 +407,7 @@ func TestRunAndRegistryEndpoints(t *testing.T) {
 	_, c := newTestServer(t, service.Config{})
 	ctx := context.Background()
 
-	if err := c.Health(ctx); err != nil {
+	if _, err := c.Health(ctx); err != nil {
 		t.Fatalf("health: %v", err)
 	}
 	infos, err := c.Tasks(ctx)
@@ -473,7 +473,7 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := srv.Submit(targetSpec()); !errors.Is(err, service.ErrUnavailable) {
 		t.Errorf("post-drain Submit = %v, want ErrUnavailable", err)
 	}
-	err := c.Health(ctx)
+	_, err := c.Health(ctx)
 	apiErr := new(client.APIError)
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain health = %v, want HTTP 503", err)

@@ -80,6 +80,13 @@ func TestStatsNewFieldsAppearWhenSet(t *testing.T) {
 		PeerForwards:   map[string]int64{"http://w1": 9},
 		PeersHealthy:   1,
 		PeersTotal:     2,
+
+		RoundsSimulated: 11,
+		SimSeconds:      0.5,
+		Version:         "v1.2.3",
+		Revision:        "abc123",
+		BuildTime:       "2026-01-01T00:00:00Z",
+		GoVersion:       "go1.24",
 	}
 	want := map[string]bool{
 		"store_hits": true, "store_misses": true, "store_entries": true,
@@ -87,6 +94,8 @@ func TestStatsNewFieldsAppearWhenSet(t *testing.T) {
 		"store_corrupt": true, "store_errors": true,
 		"forwarded": true, "forward_errors": true, "peer_forwards": true,
 		"peers_healthy": true, "peers_total": true,
+		"rounds_simulated": true, "sim_seconds": true,
+		"version": true, "revision": true, "build_time": true, "go_version": true,
 	}
 	got := marshalKeys(t, s)
 	seen := map[string]bool{}

@@ -34,6 +34,9 @@ type Study struct {
 // studyRun is a Study plus the server-side execution state.
 type studyRun struct {
 	Study
+	// traceID is the submitter's trace id; every sub-job inherits it,
+	// so one grep finds the whole grid across the cluster.
+	traceID string
 	// jobs are the submitted sub-jobs in spec order (guarded by
 	// Server.mu; grows during the submission phase).
 	jobs []*job
@@ -55,6 +58,12 @@ const backpressureRetry = 10 * time.Millisecond
 // ErrInvalidSpec for malformed studies and ErrUnavailable while
 // draining.
 func (s *Server) SubmitStudy(ss awakemis.StudySpec) (Study, error) {
+	return s.SubmitStudyTraced(ss, "")
+}
+
+// SubmitStudyTraced is SubmitStudy carrying the submitter's trace id:
+// every sub-job of the grid records and runs under it.
+func (s *Server) SubmitStudyTraced(ss awakemis.StudySpec, traceID string) (Study, error) {
 	acc, err := ss.Accumulator()
 	if err != nil {
 		return Study{}, err
@@ -73,8 +82,9 @@ func (s *Server) SubmitStudy(ss awakemis.StudySpec) (Study, error) {
 			Spec:   acc.Study(),
 			Total:  acc.Total(),
 		},
-		ctx:    ctx,
-		cancel: cancel,
+		traceID: traceID,
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	s.studies[st.ID] = st
 	s.stats.StudiesSubmitted++
@@ -149,7 +159,7 @@ func (s *Server) runStudy(st *studyRun, acc *awakemis.StudyAccumulator) {
 				s.mu.Unlock()
 				return // canceled while submitting; CancelStudy cleaned up
 			}
-			j, err := s.submitLocked(canonical, hash)
+			j, err := s.submitLocked(canonical, hash, st.traceID)
 			if err == nil {
 				st.jobs = append(st.jobs, j)
 			}

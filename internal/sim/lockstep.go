@@ -209,6 +209,7 @@ func (e *lockstepRun) nodeMain(st *lsNode, prog Program) {
 func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 	stamp := make([]int64, len(e.states)) // stamp[v] == clock+1 iff v awake now
 	cur := make([]int32, len(e.states))   // routing's per-receiver port cursors
+	probe := roundProbe{obs: e.cfg.Observer}
 	for !q.empty() {
 		// Honor cancellation at every round boundary. All node goroutines
 		// are parked between rounds here, so returning is safe: the
@@ -220,6 +221,7 @@ func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 		if clock > e.cfg.MaxRounds {
 			return fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
 		}
+		probe.begin(&e.m)
 		e.m.ExecutedRounds++
 		if clock+1 > e.m.Rounds {
 			e.m.Rounds = clock + 1
@@ -265,6 +267,7 @@ func (e *lockstepRun) loop(ctx context.Context, q *wakeQueue) error {
 			}
 			q.add(st.nextWake, v)
 		}
+		probe.end(&e.m, clock, len(awake))
 		q.recycle(awake)
 	}
 	return nil

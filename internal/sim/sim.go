@@ -60,6 +60,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"awakemis/internal/bitio"
 	"awakemis/internal/graph"
@@ -102,6 +103,11 @@ type Config struct {
 	// message routing) as they happen. Tracer methods are called from
 	// the engine goroutine only.
 	Tracer Tracer
+	// Observer, if non-nil, receives one flat RoundStat per executed
+	// round. Unlike Tracer it carries no per-node or per-message detail,
+	// so attaching it costs O(1) per round regardless of n. Observer
+	// methods are called from the engine goroutine only.
+	Observer RoundObserver
 	// Engine selects the runtime engine. Nil means Default().
 	Engine Engine
 }
@@ -131,6 +137,76 @@ type Tracer interface {
 	// Message fires for every sent message; delivered reports whether
 	// the receiver was awake.
 	Message(round int64, from, to, bits int, delivered bool)
+}
+
+// RoundStat is the flat aggregate of one executed round: no maps, no
+// per-node state, just counters. The message counters are deltas for
+// this round alone; summed over all observed rounds they equal the
+// corresponding final Metrics totals exactly (the identity is frozen by
+// test across engines and worker counts).
+type RoundStat struct {
+	// Round is the round number (clock); rounds where every node sleeps
+	// are skipped, so consecutive stats may jump.
+	Round int64
+	// Awake is the number of nodes awake this round.
+	Awake int
+	// Sent counts messages handed to Send this round.
+	Sent int64
+	// Delivered counts this round's messages that reached an awake
+	// receiver (Sent - Delivered were lost to sleeping nodes).
+	Delivered int64
+	// Bits is the total wire size of this round's sends.
+	Bits int64
+	// Elapsed is the wall time the engine spent simulating the round.
+	// It is the only nondeterministic field.
+	Elapsed time.Duration
+}
+
+// RoundObserver receives per-round aggregates as the engine executes.
+// ObserveRound fires once per executed round, in round order, after the
+// round completed successfully (rounds aborted by an error or
+// cancellation are not observed). Implementations should be cheap and
+// ideally allocation-free: the hook itself adds no heap allocations,
+// and the engine's steady-state allocation guards budget at most one
+// allocation per round for the observer's own bookkeeping.
+type RoundObserver interface {
+	ObserveRound(RoundStat)
+}
+
+// roundProbe converts the run's cumulative Metrics counters into
+// per-round deltas for a RoundObserver. With a nil observer both calls
+// are a single predictable branch, preserving the zero-allocation
+// round loop.
+type roundProbe struct {
+	obs       RoundObserver
+	start     time.Time
+	sent      int64
+	delivered int64
+	bits      int64
+}
+
+// begin snapshots the cumulative counters at the top of a round.
+func (p *roundProbe) begin(m *Metrics) {
+	if p.obs == nil {
+		return
+	}
+	p.sent, p.delivered, p.bits = m.MessagesSent, m.MessagesDelivered, m.BitsSent
+	p.start = time.Now()
+}
+
+// end emits the round's RoundStat once the round has fully completed.
+func (p *roundProbe) end(m *Metrics, round int64, awake int) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.ObserveRound(RoundStat{
+		Round:     round,
+		Awake:     awake,
+		Sent:      m.MessagesSent - p.sent,
+		Delivered: m.MessagesDelivered - p.delivered,
+		Bits:      m.BitsSent - p.bits,
+		Elapsed:   time.Since(p.start),
+	})
 }
 
 // Metrics aggregates the complexity measures of a run.

@@ -96,6 +96,8 @@ type stepState struct {
 	stamp []int64        // routing scratch: stamp[v] == clock+1 iff v awake now
 	cur   []int32        // routing scratch: per-receiver port cursors
 
+	probe roundProbe // per-round deltas for cfg.Observer (no-op when nil)
+
 	// reuse marks native step programs, whose inbox slices are borrowed
 	// for the duration of OnWake only: their buffers are truncated and
 	// reused. Adapter-run goroutine programs may retain Deliver results,
@@ -162,6 +164,7 @@ func newStepState(g *graph.Graph, sp StepProgram, cfg Config, native bool, worke
 		stamp: make([]int64, n),
 		cur:   make([]int32, n),
 		reuse: native,
+		probe: roundProbe{obs: cfg.Observer},
 	}
 	rs.inbox[0] = make([][]Inbound, n)
 	rs.inbox[1] = make([][]Inbound, n)
@@ -212,6 +215,7 @@ func (rs *stepState) round(workers int) error {
 	if clock > rs.cfg.MaxRounds {
 		return fmt.Errorf("%w (round %d)", ErrMaxRounds, clock)
 	}
+	rs.probe.begin(rs.m)
 	rs.m.ExecutedRounds++
 	if clock+1 > rs.m.Rounds {
 		rs.m.Rounds = clock + 1
@@ -247,6 +251,7 @@ func (rs *stepState) round(workers int) error {
 		}
 		rs.q.add(next, v)
 	}
+	rs.probe.end(rs.m, clock, len(awake))
 	rs.q.recycle(awake)
 	return nil
 }

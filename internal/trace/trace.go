@@ -1,9 +1,11 @@
-// Package trace collects and renders execution timelines from the
-// SLEEPING-CONGEST simulator: which rounds each node was awake, how
-// awake rounds cluster into the phase structure of an algorithm, and
-// how many messages were lost to sleeping receivers. It exists for
-// debugging schedules (a node awake when its peer sleeps is the classic
-// sleeping-model bug) and for the timeline views in cmd/awakemis.
+// Package trace collects and renders execution views of the
+// SLEEPING-CONGEST simulator at two depths. Collector (a sim.Tracer)
+// records which rounds each sampled node was awake — the per-node deep
+// view for debugging schedules (a node awake when its peer sleeps is
+// the classic sleeping-model bug). RoundLog (a sim.RoundObserver)
+// records one flat aggregate per executed round — awake count,
+// messages, bits — with cost independent of the node count, so round
+// timelines keep working at n = 10⁷ where per-node recording cannot.
 package trace
 
 import (
@@ -14,31 +16,59 @@ import (
 	"awakemis/internal/sim"
 )
 
+// DefaultMaxNodes is the node-sample cap NewCollector installs: enough
+// for every timeline and busiest-node view while keeping the per-node
+// maps bounded on million-node graphs.
+const DefaultMaxNodes = 4096
+
 // Collector implements sim.Tracer, recording awake rounds per node and
-// message-loss counters.
+// message-loss counters. Per-node recording is O(awake rounds) memory
+// per node, so Collector samples: once MaxNodes distinct nodes have
+// been recorded, awake events for further nodes are counted but not
+// stored. Because every node is awake in round 0 and rounds visit
+// nodes in ascending index order, the sample is exactly the first
+// MaxNodes node ids — deterministic across engines and worker counts.
+// The message counters (Sent, Delivered, Lost, LostByRound) are global
+// and unaffected by sampling.
 type Collector struct {
 	// AwakeRounds[v] lists the rounds node v was awake, ascending.
+	// Only sampled nodes appear; see MaxNodes.
 	AwakeRounds map[int][]int64
 	// Sent, Delivered, Lost count messages.
 	Sent, Delivered, Lost int64
 	// LostByRound counts lost messages per round (schedule bugs show up
 	// as loss spikes).
 	LostByRound map[int64]int64
+	// MaxNodes caps how many distinct nodes AwakeRounds records
+	// (first-k by id). Zero or negative means unbounded — the historic
+	// behavior, O(n·rounds) memory on large graphs.
+	MaxNodes int
+	// SkippedEvents counts awake events dropped by the sample cap; the
+	// summary reports when a trace is partial.
+	SkippedEvents int64
 }
 
 var _ sim.Tracer = (*Collector)(nil)
 
-// NewCollector returns an empty Collector.
+// NewCollector returns an empty Collector sampling at DefaultMaxNodes.
+// Set MaxNodes before the run to widen, narrow, or (≤0) unbound the
+// node sample.
 func NewCollector() *Collector {
 	return &Collector{
 		AwakeRounds: map[int][]int64{},
 		LostByRound: map[int64]int64{},
+		MaxNodes:    DefaultMaxNodes,
 	}
 }
 
 // NodeAwake implements sim.Tracer.
 func (c *Collector) NodeAwake(round int64, node int) {
-	c.AwakeRounds[node] = append(c.AwakeRounds[node], round)
+	rs, ok := c.AwakeRounds[node]
+	if !ok && c.MaxNodes > 0 && len(c.AwakeRounds) >= c.MaxNodes {
+		c.SkippedEvents++
+		return
+	}
+	c.AwakeRounds[node] = append(rs, round)
 }
 
 // Message implements sim.Tracer.
@@ -173,6 +203,89 @@ func (c *Collector) BusiestNodes(k int) []int {
 
 // Summary returns a one-paragraph description of the trace.
 func (c *Collector) Summary() string {
-	return fmt.Sprintf("traced %d nodes; %d messages sent, %d delivered, %d lost to sleepers (%.1f%%)",
+	s := fmt.Sprintf("traced %d nodes; %d messages sent, %d delivered, %d lost to sleepers (%.1f%%)",
 		len(c.AwakeRounds), c.Sent, c.Delivered, c.Lost, 100*c.LossRate())
+	if c.SkippedEvents > 0 {
+		s += fmt.Sprintf("; node sample capped at %d (first %d ids)", c.MaxNodes, c.MaxNodes)
+	}
+	return s
+}
+
+// RoundLog implements sim.RoundObserver: a flat append-only log of
+// per-round aggregates. Unlike Collector it holds no per-node state at
+// all — memory is O(executed rounds) — so it is the trace layer that
+// still works at n = 10⁷. All fields except Elapsed are deterministic
+// for a fixed (graph, task, seed) on every engine at every worker
+// count.
+type RoundLog struct {
+	// Stats holds one entry per executed round, in round order.
+	Stats []sim.RoundStat
+}
+
+var _ sim.RoundObserver = (*RoundLog)(nil)
+
+// NewRoundLog returns an empty RoundLog.
+func NewRoundLog() *RoundLog { return &RoundLog{} }
+
+// ObserveRound implements sim.RoundObserver.
+func (l *RoundLog) ObserveRound(st sim.RoundStat) { l.Stats = append(l.Stats, st) }
+
+// Totals sums the per-round deltas; each equals the corresponding
+// final sim.Metrics counter (messages sent/delivered, bits, total
+// awake node-rounds).
+func (l *RoundLog) Totals() (sent, delivered, bits, awake int64) {
+	for _, st := range l.Stats {
+		sent += st.Sent
+		delivered += st.Delivered
+		bits += st.Bits
+		awake += int64(st.Awake)
+	}
+	return
+}
+
+// PeakAwake returns the maximum awake-node count over all rounds and
+// the first round attaining it.
+func (l *RoundLog) PeakAwake() (round int64, awake int) {
+	for _, st := range l.Stats {
+		if st.Awake > awake {
+			round, awake = st.Round, st.Awake
+		}
+	}
+	return
+}
+
+// Timeline renders an ASCII awake-density timeline of the whole run:
+// the horizon [0, lastRound] is split into width buckets and each cell
+// shows the awake node-round mass that fell there. One row, any n.
+func (l *RoundLog) Timeline(width int) string {
+	if width < 1 {
+		width = 60
+	}
+	var maxRound int64 = 1
+	if n := len(l.Stats); n > 0 {
+		maxRound = l.Stats[n-1].Round + 1
+	}
+	counts := make([]int, width)
+	for _, st := range l.Stats {
+		b := int(st.Round * int64(width) / maxRound)
+		if b >= width {
+			b = width - 1
+		}
+		counts[b] += st.Awake
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds 0..%d, %d per cell\n", maxRound-1, (maxRound+int64(width)-1)/int64(width))
+	fmt.Fprintf(&b, " awake |%s|\n", densityRow(counts))
+	return b.String()
+}
+
+// Summary returns a one-paragraph description of the round log.
+func (l *RoundLog) Summary() string {
+	if len(l.Stats) == 0 {
+		return "no rounds observed"
+	}
+	sent, delivered, _, awake := l.Totals()
+	peakRound, peak := l.PeakAwake()
+	return fmt.Sprintf("%d executed rounds over horizon %d; peak %d awake at round %d; %d awake node-rounds; %d messages sent, %d delivered",
+		len(l.Stats), l.Stats[len(l.Stats)-1].Round+1, peak, peakRound, awake, sent, delivered)
 }

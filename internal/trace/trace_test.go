@@ -127,6 +127,104 @@ func TestBusiestNodes(t *testing.T) {
 	}
 }
 
+// TestMaxNodesSampling pins the scalability cap: once MaxNodes distinct
+// nodes are recorded, further nodes' awake events are counted but not
+// stored, and — because round 0 wakes every node in ascending order —
+// the sample is exactly the first MaxNodes ids. Global message counters
+// are unaffected.
+func TestMaxNodesSampling(t *testing.T) {
+	c := NewCollector()
+	c.MaxNodes = 4
+	g := graph.Cycle(16)
+	prog := func(ctx *sim.Ctx) {
+		ctx.Broadcast(probe{})
+		ctx.Deliver()
+		ctx.Advance()
+		ctx.Broadcast(probe{})
+		ctx.Deliver()
+	}
+	if _, err := sim.Run(g, prog, sim.Config{Seed: 1, Tracer: c}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.AwakeRounds) != 4 {
+		t.Fatalf("sampled %d nodes, want 4", len(c.AwakeRounds))
+	}
+	for v := 0; v < 4; v++ {
+		if len(c.AwakeRounds[v]) != 2 {
+			t.Errorf("node %d awake rounds %v, want 2 entries (under-cap behavior unchanged)", v, c.AwakeRounds[v])
+		}
+	}
+	if _, ok := c.AwakeRounds[5]; ok {
+		t.Error("node beyond the cap was recorded")
+	}
+	if c.SkippedEvents != 2*12 {
+		t.Errorf("skipped events = %d, want 24", c.SkippedEvents)
+	}
+	if want := int64(2 * 2 * g.M()); c.Sent != want || c.Delivered != want {
+		t.Errorf("global counters perturbed by sampling: sent/delivered = %d/%d, want %d", c.Sent, c.Delivered, want)
+	}
+	if !strings.Contains(c.Summary(), "capped at 4") {
+		t.Errorf("summary should flag the partial sample: %s", c.Summary())
+	}
+}
+
+// TestDefaultCapUnbounded documents the defaults: NewCollector samples
+// at DefaultMaxNodes, and MaxNodes ≤ 0 restores unbounded recording.
+func TestDefaultCapUnbounded(t *testing.T) {
+	if NewCollector().MaxNodes != DefaultMaxNodes {
+		t.Errorf("NewCollector cap = %d, want %d", NewCollector().MaxNodes, DefaultMaxNodes)
+	}
+	c := NewCollector()
+	c.MaxNodes = 0
+	for v := 0; v < 100; v++ {
+		c.NodeAwake(0, v)
+	}
+	if len(c.AwakeRounds) != 100 || c.SkippedEvents != 0 {
+		t.Errorf("unbounded collector recorded %d nodes, skipped %d", len(c.AwakeRounds), c.SkippedEvents)
+	}
+}
+
+// TestRoundLog runs the round observer through a real simulation and
+// checks totals, peak, timeline, and summary.
+func TestRoundLog(t *testing.T) {
+	l := NewRoundLog()
+	g := graph.Cycle(32)
+	prog := func(ctx *sim.Ctx) {
+		ctx.Broadcast(probe{})
+		ctx.Deliver()
+		if ctx.Node()%2 == 0 {
+			ctx.Advance() // odd nodes sleep after round 0
+			ctx.Broadcast(probe{})
+			ctx.Deliver()
+		}
+	}
+	m, err := sim.Run(g, prog, sim.Config{Seed: 1, Observer: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(l.Stats)) != m.ExecutedRounds {
+		t.Fatalf("logged %d rounds, metrics executed %d", len(l.Stats), m.ExecutedRounds)
+	}
+	sent, delivered, bits, awake := l.Totals()
+	if sent != m.MessagesSent || delivered != m.MessagesDelivered || bits != m.BitsSent || awake != m.TotalAwake {
+		t.Errorf("totals %d/%d/%d/%d != metrics %d/%d/%d/%d",
+			sent, delivered, bits, awake, m.MessagesSent, m.MessagesDelivered, m.BitsSent, m.TotalAwake)
+	}
+	round, peak := l.PeakAwake()
+	if round != 0 || peak != 32 {
+		t.Errorf("peak = %d at round %d, want 32 at round 0", peak, round)
+	}
+	if out := l.Timeline(10); !strings.Contains(out, "awake |") {
+		t.Errorf("timeline: %s", out)
+	}
+	if s := l.Summary(); !strings.Contains(s, "peak 32 awake at round 0") {
+		t.Errorf("summary: %s", s)
+	}
+	if (&RoundLog{}).Summary() != "no rounds observed" {
+		t.Errorf("empty summary: %q", (&RoundLog{}).Summary())
+	}
+}
+
 func TestDensityRow(t *testing.T) {
 	if got := densityRow([]int{0, 1, 2, 5}); len([]rune(got)) != 4 {
 		t.Errorf("row length wrong: %q", got)

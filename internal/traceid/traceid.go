@@ -1,0 +1,73 @@
+// Package traceid propagates a request-scoped trace id across the
+// cluster: the client stamps the X-Awakemis-Trace-Id header, the
+// daemon adopts (or mints) the id into the request context and its
+// structured logs, and the front forwards it to the owning worker — so
+// one grep finds a job's whole path through every process.
+package traceid
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"regexp"
+)
+
+// Header is the HTTP header carrying the trace id.
+const Header = "X-Awakemis-Trace-Id"
+
+// valid bounds accepted ids: hex-ish tokens up to 64 chars, so log
+// fields stay greppable and header injection cannot smuggle structure.
+var valid = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+type ctxKey struct{}
+
+// New mints a fresh random 16-byte hex trace id.
+func New() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed id is
+		// still a valid (if useless) trace id.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// With returns ctx carrying the given trace id.
+func With(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// From returns the trace id carried by ctx, or "".
+func From(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Ensure returns ctx guaranteed to carry a trace id, minting one if
+// absent, along with the id.
+func Ensure(ctx context.Context) (context.Context, string) {
+	if id := From(ctx); id != "" {
+		return ctx, id
+	}
+	id := New()
+	return With(ctx, id), id
+}
+
+// FromRequest extracts a well-formed trace id from the request header,
+// or "" when absent or malformed.
+func FromRequest(r *http.Request) string {
+	id := r.Header.Get(Header)
+	if id == "" || !valid.MatchString(id) {
+		return ""
+	}
+	return id
+}
+
+// Stamp sets the trace id carried by ctx (if any) on the outgoing
+// request's header.
+func Stamp(ctx context.Context, req *http.Request) {
+	if id := From(ctx); id != "" {
+		req.Header.Set(Header, id)
+	}
+}

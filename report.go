@@ -63,6 +63,9 @@ type Report struct {
 	// WallMS is the wall-clock run time in milliseconds — the only
 	// nondeterministic field.
 	WallMS float64 `json:"wall_ms"`
+	// RoundSummary is the optional compact per-round block
+	// (Options.RoundSummary); deterministic like the rest of the report.
+	RoundSummary *RoundSummary `json:"round_summary,omitempty"`
 
 	trace *trace.Collector
 }

@@ -124,6 +124,13 @@ func runTask(ctx context.Context, g *Graph, task string, opt Options, workers in
 		collector = trace.NewCollector()
 		cfg.Tracer = collector
 	}
+	var acc *roundSummaryAcc
+	if opt.RoundSummary {
+		acc = &roundSummaryAcc{}
+	}
+	if acc != nil || opt.Observer != nil {
+		cfg.Observer = &simObserver{user: opt.Observer, acc: acc}
+	}
 	start := time.Now()
 	out, m, err := t.run(ctx, g, opt, cfg)
 	if err != nil {
@@ -132,7 +139,7 @@ func runTask(ctx context.Context, g *Graph, task string, opt Options, workers in
 	if verr := t.verify(g, out); verr != nil {
 		return nil, fmt.Errorf("awakemis: %s produced invalid output (failed w.h.p. event): %w", task, verr)
 	}
-	return &Report{
+	rep := &Report{
 		Task:     task,
 		Engine:   cfg.Engine.Name(),
 		Workers:  opt.Workers,
@@ -143,7 +150,11 @@ func runTask(ctx context.Context, g *Graph, task string, opt Options, workers in
 		Verified: true,
 		WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		trace:    collector,
-	}, nil
+	}
+	if acc != nil {
+		rep.RoundSummary = acc.summary()
+	}
+	return rep, nil
 }
 
 // verifyMIS is the output oracle shared by every MIS task.
