@@ -22,8 +22,13 @@
 //	// rep.Output.InMIS is a verified MIS; rep.Metrics.MaxAwake is
 //	// O(log log n); rep.JSON() is the wire form.
 //
-// The classic entry points remain: Run for MIS tasks (typed results),
-// and the deprecated RunColoring / RunMatching wrappers.
+// Spec-driven execution goes through the single consolidated entry
+// point Run(ctx, spec, ...RunOption): functional options select worker
+// budgets (WithWorkers), per-round observers (WithObserver), and
+// vectorized trial batches (WithVectorizedTrials) that execute all
+// replications of a study cell in one merged pass. RunMIS returns the
+// typed MIS view; RunSpec / RunSpecContext / RunSpecWorkers and the
+// RunColoring / RunMatching wrappers are deprecated delegates.
 package awakemis
 
 import (
@@ -254,18 +259,19 @@ func (r *Result) TraceSummary() string {
 	return r.trace.Summary()
 }
 
-// Run executes the selected MIS algorithm on g and returns its MIS and
-// metrics; it dispatches through the task registry (RunTask is the
+// RunMIS executes the selected MIS algorithm on g and returns its MIS
+// and metrics; it dispatches through the task registry (RunTask is the
 // registry-level equivalent and also covers coloring and matching).
 // The output is always verified to be a maximal independent set before
-// returning.
-func Run(g *Graph, algo Algorithm, opt Options) (*Result, error) {
-	return RunContext(context.Background(), g, algo, opt)
+// returning. For spec-driven execution — serializable inputs, worker
+// budgets, vectorized trial batches — use Run.
+func RunMIS(g *Graph, algo Algorithm, opt Options) (*Result, error) {
+	return RunMISContext(context.Background(), g, algo, opt)
 }
 
-// RunContext is Run under a context: cancellation or a missed deadline
-// aborts the simulation at the next round boundary.
-func RunContext(ctx context.Context, g *Graph, algo Algorithm, opt Options) (*Result, error) {
+// RunMISContext is RunMIS under a context: cancellation or a missed
+// deadline aborts the simulation at the next round boundary.
+func RunMISContext(ctx context.Context, g *Graph, algo Algorithm, opt Options) (*Result, error) {
 	// Reject non-MIS tasks before spending a simulation on them.
 	if t, ok := TaskByName(string(algo)); ok && t.Kind != "mis" {
 		return nil, fmt.Errorf("awakemis: task %q does not compute an MIS; use RunTask", algo)

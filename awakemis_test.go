@@ -16,7 +16,7 @@ func TestRunAllAlgorithmsProduceValidMIS(t *testing.T) {
 	for gname, g := range graphs {
 		for _, algo := range Algorithms() {
 			t.Run(gname+"/"+string(algo), func(t *testing.T) {
-				res, err := Run(g, algo, Options{Seed: 7, Strict: true})
+				res, err := RunMIS(g, algo, Options{Seed: 7, Strict: true})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -35,7 +35,7 @@ func TestRunAllAlgorithmsProduceValidMIS(t *testing.T) {
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if _, err := Run(Cycle(4), Algorithm("bogus"), Options{}); err == nil {
+	if _, err := RunMIS(Cycle(4), Algorithm("bogus"), Options{}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -46,7 +46,7 @@ func TestAwakeMISBeatsLubyGrowth(t *testing.T) {
 	small, large := 64, 1024
 	awake := func(algo Algorithm, n int) int64 {
 		g := GNP(n, 4/float64(n), int64(n))
-		res, err := Run(g, algo, Options{Seed: int64(n)})
+		res, err := RunMIS(g, algo, Options{Seed: int64(n)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,11 +126,11 @@ func TestGeneratorsProduceExpectedSizes(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	g := GNP(50, 0.08, 9)
-	a, err := Run(g, AwakeMIS, Options{Seed: 3})
+	a, err := RunMIS(g, AwakeMIS, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, AwakeMIS, Options{Seed: 3})
+	b, err := RunMIS(g, AwakeMIS, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestQuickFacadeAlwaysValid(t *testing.T) {
 	f := func(seed int64, nn uint8) bool {
 		n := int(nn%30) + 2
 		g := GNP(n, 0.2, seed)
-		res, err := Run(g, AwakeMIS, Options{Seed: seed})
+		res, err := RunMIS(g, AwakeMIS, Options{Seed: seed})
 		if err != nil {
 			return false
 		}

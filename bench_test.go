@@ -31,7 +31,7 @@ func benchRun(b *testing.B, algo awakemis.Algorithm, n int) {
 	var last awakemis.Metrics
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := awakemis.Run(g, algo, awakemis.Options{Seed: int64(i)})
+		res, err := awakemis.RunMIS(g, algo, awakemis.Options{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func BenchmarkColoring(b *testing.B) {
 			var last awakemis.Metrics
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := awakemis.RunColoring(g, awakemis.Options{Seed: int64(i)})
+				res, err := awakemis.RunTask(g, awakemis.TaskColoring, awakemis.Options{Seed: int64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -204,7 +204,7 @@ func BenchmarkAblationNP(b *testing.B) {
 			var last awakemis.Metrics
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := awakemis.Run(g, awakemis.AwakeMIS, awakemis.Options{
+				res, err := awakemis.RunMIS(g, awakemis.AwakeMIS, awakemis.Options{
 					Seed:   int64(i),
 					Params: core.Params{C1: 4, DeltaPrime: 8, NP: np},
 				})
@@ -228,7 +228,7 @@ func BenchmarkMatching(b *testing.B) {
 			var last awakemis.Metrics
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := awakemis.RunMatching(g, awakemis.Options{Seed: int64(i)})
+				res, err := awakemis.RunTask(g, awakemis.TaskMatching, awakemis.Options{Seed: int64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -238,6 +238,52 @@ func BenchmarkMatching(b *testing.B) {
 			b.ReportMetric(last.AvgAwake, "awake-avg")
 			b.ReportMetric(float64(last.Rounds), "rounds")
 		})
+	}
+}
+
+// BenchmarkVectorizedTrials measures the tentpole: R replications of
+// one study cell (same graph, paired seeds) as a per-trial scalar loop
+// versus one merged vectorized pass. The scalar arm mirrors the scalar
+// study path exactly — one Run per trial, graph rebuilt each time —
+// so ns/op ratios between the scalar and vector arms are the study
+// throughput gain. CI's bench job records both arms in
+// BENCH_vector.json and smoke-gates the ratio at R = 8.
+func BenchmarkVectorizedTrials(b *testing.B) {
+	for _, n := range []int{4096, 1 << 20} {
+		for _, r := range []int{2, 8, 32} {
+			spec := awakemis.Spec{
+				Task:    "luby",
+				Graph:   awakemis.GraphSpec{Family: "gnp", N: n, Seed: 1},
+				Options: awakemis.Options{Seed: 1},
+			}
+			trials := make([]awakemis.Trial, r)
+			for i := range trials {
+				trials[i] = awakemis.Trial{Seed: int64(i + 1)}
+			}
+			out := make([]*awakemis.Report, r)
+			name := sizeName(n) + "/r=" + itoa(r)
+			b.Run(name+"/scalar", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for j := range trials {
+						sp := spec
+						sp.Options.Seed = trials[j].Seed
+						rep, err := awakemis.Run(context.Background(), sp)
+						if err != nil {
+							b.Fatal(err)
+						}
+						out[j] = rep
+					}
+				}
+			})
+			b.Run(name+"/vector", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := awakemis.Run(context.Background(), spec,
+						awakemis.WithVectorizedTrials(trials, out)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

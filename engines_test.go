@@ -55,7 +55,7 @@ func TestAllAlgorithmsIdenticalAcrossEngines(t *testing.T) {
 						opt := base
 						opt.Seed = seed
 						opt.Strict = true
-						res, err := awakemis.Run(g, algo, opt)
+						res, err := awakemis.RunMIS(g, algo, opt)
 						if err != nil {
 							t.Fatalf("engine %s/%d: %v", opt.Engine, opt.Workers, err)
 						}
@@ -79,27 +79,26 @@ func TestAllAlgorithmsIdenticalAcrossEngines(t *testing.T) {
 
 func TestColoringMatchingIdenticalAcrossEngines(t *testing.T) {
 	g := awakemis.GNP(80, 0.06, 3)
-	var refColor *awakemis.ColoringResult
-	var refMatch *awakemis.MatchingResult
+	var refColor, refMatch *awakemis.Report
 	for _, base := range engineConfigs() {
 		opt := base
 		opt.Seed = 5
-		cres, err := awakemis.RunColoring(g, opt)
+		crep, err := awakemis.RunTask(g, awakemis.TaskColoring, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mres, err := awakemis.RunMatching(g, opt)
+		mrep, err := awakemis.RunTask(g, awakemis.TaskMatching, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if refColor == nil {
-			refColor, refMatch = cres, mres
+			refColor, refMatch = crep, mrep
 			continue
 		}
-		if !reflect.DeepEqual(refColor, cres) {
+		if !reflect.DeepEqual(refColor.Output, crep.Output) || !reflect.DeepEqual(refColor.Metrics, crep.Metrics) {
 			t.Errorf("coloring diverges on %s/%d", opt.Engine, opt.Workers)
 		}
-		if !reflect.DeepEqual(refMatch, mres) {
+		if !reflect.DeepEqual(refMatch.Output, mrep.Output) || !reflect.DeepEqual(refMatch.Metrics, mrep.Metrics) {
 			t.Errorf("matching diverges on %s/%d", opt.Engine, opt.Workers)
 		}
 	}

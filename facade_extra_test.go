@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func TestRunColoring(t *testing.T) {
+func TestColoringTask(t *testing.T) {
 	for name, g := range map[string]*Graph{
 		"gnp":       GNP(120, 0.08, 1),
 		"hypercube": Hypercube(6),
@@ -14,16 +14,16 @@ func TestRunColoring(t *testing.T) {
 		"bipartite": CompleteBipartite(8, 9),
 	} {
 		t.Run(name, func(t *testing.T) {
-			res, err := RunColoring(g, Options{Seed: 5, Strict: true})
+			res, err := RunTask(g, TaskColoring, Options{Seed: 5, Strict: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			// Proper coloring, bounded palette.
 			colors := map[int]bool{}
-			for v, c := range res.Color {
+			for v, c := range res.Output.Color {
 				colors[c] = true
 				for _, w := range g.Neighbors(v) {
-					if res.Color[w] == c {
+					if res.Output.Color[w] == c {
 						t.Fatalf("edge (%d,%d) monochromatic", v, w)
 					}
 				}
@@ -38,21 +38,21 @@ func TestRunColoring(t *testing.T) {
 	}
 }
 
-func TestRunMatching(t *testing.T) {
+func TestMatchingTask(t *testing.T) {
 	for name, g := range map[string]*Graph{
 		"gnp":   GNP(100, 0.08, 2),
 		"cycle": Cycle(25),
 		"torus": Torus(6, 6),
 	} {
 		t.Run(name, func(t *testing.T) {
-			res, err := RunMatching(g, Options{Seed: 6, Strict: true})
+			res, err := RunTask(g, TaskMatching, Options{Seed: 6, Strict: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Symmetry and maximality are verified inside RunMatching;
+			// Symmetry and maximality are verified by the task's checker;
 			// check the metrics shape here.
-			for v, w := range res.MatchedWith {
-				if w >= 0 && res.MatchedWith[w] != v {
+			for v, w := range res.Output.MatchedWith {
+				if w >= 0 && res.Output.MatchedWith[w] != v {
 					t.Fatalf("asymmetric match at %d", v)
 				}
 			}
@@ -102,7 +102,7 @@ func TestGraphReadWrite(t *testing.T) {
 
 func TestTraceThroughFacade(t *testing.T) {
 	g := Cycle(16)
-	res, err := Run(g, AwakeMIS, Options{Seed: 2, Trace: true})
+	res, err := RunMIS(g, AwakeMIS, Options{Seed: 2, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestTraceThroughFacade(t *testing.T) {
 		t.Errorf("timeline:\n%s", tl)
 	}
 	// Without tracing, the accessors degrade gracefully.
-	res2, err := Run(g, Luby, Options{Seed: 2})
+	res2, err := RunMIS(g, Luby, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestAwakeMISOnAdversarialFamilies(t *testing.T) {
 		"torus":    Torus(8, 8),
 	} {
 		t.Run(name, func(t *testing.T) {
-			res, err := Run(g, AwakeMIS, Options{Seed: 9, Strict: true})
+			res, err := RunMIS(g, AwakeMIS, Options{Seed: 9, Strict: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,7 +164,7 @@ func TestVertexRelabelingInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []Algorithm{AwakeMIS, Luby, VTMIS, LDTMIS} {
-		res, err := Run(relabeled, algo, Options{Seed: 4, Strict: true})
+		res, err := RunMIS(relabeled, algo, Options{Seed: 4, Strict: true})
 		if err != nil {
 			t.Fatalf("%s on relabeled graph: %v", algo, err)
 		}

@@ -13,7 +13,7 @@ func TestGenerateAllFamilies(t *testing.T) {
 				t.Errorf("family %s: n = %d, want >= 40", fam, g.N())
 			}
 			// Every generated graph is a usable algorithm input.
-			res, err := Run(g, Luby, Options{Seed: 1})
+			res, err := RunMIS(g, Luby, Options{Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -51,11 +52,11 @@ func TestCanonicalizeSmallGNPStaysValid(t *testing.T) {
 	if err := canon.Validate(); err != nil {
 		t.Errorf("canonical form of a valid spec fails validation: %v", err)
 	}
-	raw, err := awakemis.RunSpec(spec)
+	raw, err := awakemis.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	canonRep, err := awakemis.RunSpec(canon)
+	canonRep, err := awakemis.Run(context.Background(), canon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +153,11 @@ func TestCanonicalSpecRunsIdentically(t *testing.T) {
 		{Task: "coloring", Graph: awakemis.GraphSpec{Family: "geometric", N: 30}, Options: awakemis.Options{Seed: 6, Engine: awakemis.EngineLockstep}},
 	}
 	for i, spec := range specs {
-		raw, err := awakemis.RunSpec(spec)
+		raw, err := awakemis.Run(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("spec %d raw: %v", i, err)
 		}
-		canon, err := awakemis.RunSpec(service.Canonicalize(spec))
+		canon, err := awakemis.Run(context.Background(), service.Canonicalize(spec))
 		if err != nil {
 			t.Fatalf("spec %d canonical: %v", i, err)
 		}

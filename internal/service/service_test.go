@@ -428,7 +428,7 @@ func TestRunAndRegistryEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := awakemis.RunSpec(service.Canonicalize(targetSpec()))
+	local, err := awakemis.Run(context.Background(), service.Canonicalize(targetSpec()))
 	if err != nil {
 		t.Fatal(err)
 	}

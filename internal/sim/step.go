@@ -82,6 +82,12 @@ func (o *Outbox) Send(port int, m Message) {
 			panic(&BandwidthError{Node: o.node, Port: port, Bits: bits, Budget: o.bandwidth})
 		}
 	}
+	if cap(o.msgs) == 0 && o.degree > 1 {
+		// Most nodes that send at all address several ports (Broadcast
+		// is the common case), so grow straight to degree capacity
+		// instead of paying the append doubling churn per node.
+		o.msgs = make([]outMsg, 0, o.degree)
+	}
 	o.msgs = append(o.msgs, outMsg{port, m})
 }
 

@@ -31,7 +31,7 @@ func BenchmarkObserverOverhead(b *testing.B) {
 				var last awakemis.Metrics
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res, err := awakemis.Run(g, awakemis.Luby,
+					res, err := awakemis.RunMIS(g, awakemis.Luby,
 						awakemis.Options{Seed: int64(i), Observer: obs})
 					if err != nil {
 						b.Fatal(err)

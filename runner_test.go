@@ -42,7 +42,7 @@ func TestRunBatchBitIdenticalToSequential(t *testing.T) {
 	seq := make([]*awakemis.Report, len(specs))
 	ref := &awakemis.Runner{Seed: rootSeed}
 	for i, spec := range specs {
-		rep, err := awakemis.RunSpec(ref.Resolve(spec, i))
+		rep, err := awakemis.Run(context.Background(), ref.Resolve(spec, i))
 		if err != nil {
 			t.Fatalf("sequential spec %d: %v", i, err)
 		}

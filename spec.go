@@ -51,35 +51,35 @@ type Spec struct {
 	// Graph describes the input graph.
 	Graph GraphSpec `json:"graph"`
 	// Options configures the run. A zero Seed is resolved by the Runner
-	// through deterministic derivation (see Runner.Seed); RunSpec uses
-	// it as-is.
+	// through deterministic derivation (see Runner.Seed); Run uses it
+	// as-is.
 	Options Options `json:"options"`
 }
 
 // RunSpec builds the spec's graph and executes its task, returning the
-// Report. Equivalent to Generate + RunTask; Runner.RunBatch produces
-// bit-identical reports for the same resolved specs.
+// Report.
+//
+// Deprecated: use Run(context.Background(), spec). RunSpec is a thin
+// delegate kept for compatibility.
 func RunSpec(spec Spec) (*Report, error) {
-	return RunSpecContext(context.Background(), spec)
+	return Run(context.Background(), spec)
 }
 
 // RunSpecContext is RunSpec under a context.
+//
+// Deprecated: use Run(ctx, spec). RunSpecContext is a thin delegate
+// kept for compatibility.
 func RunSpecContext(ctx context.Context, spec Spec) (*Report, error) {
-	return runSpec(ctx, spec, spec.Options.Workers)
+	return Run(ctx, spec)
 }
 
 // RunSpecWorkers is RunSpecContext with an explicit stepped-engine
-// worker-pool size that overrides Options.Workers without being
-// recorded in the Report — the caller's share of a machine-wide
-// budget. The Runner and the service daemon use it to divide one
-// budget among concurrent runs while keeping reports bit-identical to
-// standalone RunSpec calls (worker counts never change results).
-// workers == 0 falls back to Options.Workers.
+// worker-pool size.
+//
+// Deprecated: use Run(ctx, spec, WithWorkers(workers)). RunSpecWorkers
+// is a thin delegate kept for compatibility.
 func RunSpecWorkers(ctx context.Context, spec Spec, workers int) (*Report, error) {
-	if workers == 0 {
-		workers = spec.Options.Workers
-	}
-	return runSpec(ctx, spec, workers)
+	return Run(ctx, spec, WithWorkers(workers))
 }
 
 // runSpec runs one spec with an explicit worker-pool size (the

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -21,10 +22,13 @@ import (
 // time — and executes into a StudyResult artifact that aggregates each
 // cell's trials and fits every metric's growth over the n-sweep.
 //
-// Seeds derive per (family, size, trial) through internal/rng, so
-// every task and engine in one cell column runs on identical graphs:
-// cross-task comparisons are paired, and an engine axis is a pure
-// determinism check. StudySpec marshals to/from JSON (the
+// Seeds derive through internal/rng: one graph seed per (family,
+// size) and one run seed per (family, size, trial). Every task,
+// engine, and trial in one cell column therefore runs on an identical
+// graph — cross-task comparisons are paired, an engine axis is a pure
+// determinism check, and replication measures algorithmic randomness
+// on a fixed input, which is what lets executors batch a cell's
+// trials into one vectorized pass. StudySpec marshals to/from JSON (the
 // `awakemis -study` file, the POST /v1/studies body, and the
 // `graphgen -format study` output).
 type StudySpec struct {
@@ -305,6 +309,11 @@ func (ss StudySpec) Specs() []Spec {
 					for t := 0; t < r.Trials; t++ {
 						gs := fam
 						gs.N = n
+						// All trials of a cell column share one explicitly
+						// seeded graph: replication measures algorithmic
+						// randomness on a fixed input, and executors can
+						// batch a cell's trials into one vectorized pass.
+						gs.Seed = g.GraphSeed(r.Seed, key, n)
 						opt := r.Options
 						opt.Seed = g.TrialSeed(r.Seed, key, n, t)
 						opt.Engine = eng
@@ -611,18 +620,28 @@ func (a *StudyAccumulator) Result() (*StudyResult, error) {
 	return &StudyResult{Study: a.study, Cells: results, Fits: fits}, nil
 }
 
-// StudyRunner executes studies locally: the streaming executor
-// layered on Runner.RunBatch. Cells run concurrently under the
-// Runner's shared worker budget, Reports fold into the accumulator as
-// they complete, and the artifact is assembled when the batch drains.
-// The zero value is usable (Runner defaults).
+// StudyRunner executes studies locally: the streaming unit executor.
+// The expansion is scheduled in units of one cell — the Trials
+// consecutive specs sharing a graph — and a unit whose trials
+// vectorize (≥2 trials, the stepped engine) runs as one merged pass
+// through Run's WithVectorizedTrials instead of Trials scalar runs;
+// other units fall back to a scalar loop. Either way the per-trial
+// Reports, and therefore the artifact, are bit-identical (WallMS
+// aside). Units run concurrently under a shared worker budget,
+// Reports fold into the accumulator as units complete, and the
+// artifact is assembled when the grid drains. The zero value is
+// usable.
 type StudyRunner struct {
-	// Parallel caps how many specs run concurrently (0 means one per
+	// Parallel caps how many units run concurrently (0 means one per
 	// CPU).
 	Parallel int
 	// Workers is the total stepped-engine worker budget divided among
-	// the specs in flight (0 means one per CPU). Never changes results.
+	// the units in flight (0 means one per CPU). Never changes results.
 	Workers int
+	// Scalar forces every unit onto the per-trial scalar path. Results
+	// are identical; the switch exists for debugging and for the
+	// vectorized-vs-scalar identity suites.
+	Scalar bool
 	// OnProgress, when non-nil, receives one callback per finished
 	// spec, serialized.
 	OnProgress func(Progress)
@@ -631,29 +650,113 @@ type StudyRunner struct {
 // Run executes the study and returns its artifact. Cancellation
 // aborts in-flight simulations at their next round boundary.
 func (sr *StudyRunner) Run(ctx context.Context, ss StudySpec) (*StudyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	acc, err := ss.Accumulator()
 	if err != nil {
 		return nil, err
 	}
 	specs := acc.Specs()
+	trials := acc.Study().Trials
+	units := len(specs) / trials
+
+	parallel := sr.Parallel
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > units {
+		parallel = units
+	}
+	budget := sr.Workers
+	if budget <= 0 {
+		budget = runtime.NumCPU()
+	}
+	perUnit := budget / max(parallel, 1)
+	if perUnit < 1 {
+		perUnit = 1
+	}
+
+	errs := make([]error, len(specs))
 	var addErr error
-	runner := &Runner{
-		Parallel: sr.Parallel,
-		Workers:  sr.Workers,
-		Seed:     acc.Study().Seed,
-		OnProgress: func(p Progress) {
-			if p.Err == nil && p.Report != nil {
-				if err := acc.Add(p.Index, p.Report); err != nil && addErr == nil {
+	sem := make(chan struct{}, max(parallel, 1))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	// finish records one unit's outcomes: accumulate successes and
+	// deliver the serialized per-spec progress stream.
+	finish := func(lo int, reps []*Report, unitErrs []error) {
+		mu.Lock()
+		defer mu.Unlock()
+		for j := range reps {
+			i := lo + j
+			errs[i] = unitErrs[j]
+			if unitErrs[j] == nil && reps[j] != nil {
+				if err := acc.Add(i, reps[j]); err != nil && addErr == nil {
 					addErr = err
 				}
 			}
+			done++
 			if sr.OnProgress != nil {
-				sr.OnProgress(p)
+				sr.OnProgress(Progress{
+					Done: done, Total: len(specs),
+					Index: i, Spec: specs[i], Report: reps[j], Err: unitErrs[j],
+				})
 			}
-		},
+		}
 	}
-	if _, err := runner.RunBatch(ctx, specs); err != nil {
+	for u := 0; u < units; u++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			unit := specs[lo : lo+trials]
+			reps := make([]*Report, trials)
+			unitErrs := make([]error, trials)
+			fail := func(err error) {
+				for j := range unitErrs {
+					reps[j], unitErrs[j] = nil, err
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				if !sr.Scalar && vectorizable(unit[0], trials) {
+					tr := make([]Trial, trials)
+					for j, sp := range unit {
+						tr[j] = Trial{Seed: sp.Options.Seed, Name: sp.Name}
+					}
+					if _, err := Run(ctx, unit[0], WithWorkers(perUnit), WithVectorizedTrials(tr, reps)); err != nil {
+						fail(err)
+					}
+				} else {
+					for j := range unit {
+						reps[j], unitErrs[j] = Run(ctx, unit[j], WithWorkers(perUnit))
+					}
+				}
+			case <-ctx.Done():
+				fail(ctx.Err())
+			}
+			finish(lo, reps, unitErrs)
+		}(u * trials)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("awakemis: study %s: %w", acc.Study().label(), err)
+	}
+	failed := 0
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	if failed > 0 {
+		return nil, fmt.Errorf("awakemis: study %s: %d of %d specs failed (first: %w)",
+			acc.Study().label(), failed, len(specs), first)
 	}
 	if addErr != nil {
 		return nil, addErr

@@ -104,7 +104,7 @@ func TestRunTaskUnknownNameListsRegistry(t *testing.T) {
 
 func TestRunRejectsNonMISTasks(t *testing.T) {
 	for _, task := range []string{awakemis.TaskColoring, awakemis.TaskMatching} {
-		if _, err := awakemis.Run(awakemis.Cycle(10), awakemis.Algorithm(task), awakemis.Options{Seed: 1}); err == nil {
+		if _, err := awakemis.RunMIS(awakemis.Cycle(10), awakemis.Algorithm(task), awakemis.Options{Seed: 1}); err == nil {
 			t.Errorf("Run accepted non-MIS task %q", task)
 		}
 	}
@@ -138,7 +138,7 @@ func TestDeprecatedWrappersMatchRegistry(t *testing.T) {
 		t.Error("RunMatching diverges from RunTask(matching)")
 	}
 
-	rres, err := awakemis.Run(g, awakemis.Luby, opt)
+	rres, err := awakemis.RunMIS(g, awakemis.Luby, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package awakemis_test
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -45,7 +46,7 @@ func TestRoundSummaryAcrossEnginesAndWorkers(t *testing.T) {
 		spec := telemetrySpec()
 		spec.Options.Engine = tc.engine
 		spec.Options.Workers = tc.workers
-		rep, err := awakemis.RunSpec(spec)
+		rep, err := awakemis.Run(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -105,7 +106,7 @@ func TestObserverTotalsMatchReport(t *testing.T) {
 	spec := telemetrySpec()
 	log := &statLog{}
 	spec.Options.Observer = log
-	rep, err := awakemis.RunSpec(spec)
+	rep, err := awakemis.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,12 +132,12 @@ func TestObserverTotalsMatchReport(t *testing.T) {
 func TestObserverLeavesReportUnchanged(t *testing.T) {
 	spec := telemetrySpec()
 	spec.Options.RoundSummary = false
-	bare, err := awakemis.RunSpec(spec)
+	bare, err := awakemis.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Options.Observer = &statLog{}
-	observed, err := awakemis.RunSpec(spec)
+	observed, err := awakemis.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
