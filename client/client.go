@@ -127,6 +127,9 @@ type Stats struct {
 	StudiesCompleted int64 `json:"studies_completed"`
 	StudiesFailed    int64 `json:"studies_failed"`
 	StudiesCanceled  int64 `json:"studies_canceled"`
+	// StudyCells tallies terminal study cells by outcome ("done",
+	// "cached", "failed", "canceled"); omitted until a study finishes.
+	StudyCells map[string]int64 `json:"study_cells,omitempty"`
 
 	QueueDepth int  `json:"queue_depth"`
 	InFlight   int  `json:"inflight"`
@@ -348,8 +351,11 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 
 // poll fetches repeatedly until terminal reports the value final or
 // ctx ends, pacing with the client's backoff (PollInterval, 1.5x up
-// to 1s). onPoll, when non-nil, observes every fetched state — the
-// shared loop behind Wait and WaitStudy.
+// to 1s) plus up to 100% jitter per sleep — the submit path's
+// decorrelation convention, so a fleet of waiters released by the
+// same event doesn't poll in lockstep. Every wait aborts promptly
+// when ctx ends. onPoll, when non-nil, observes every fetched state —
+// the shared loop behind Wait and WaitStudy.
 func poll[T any](ctx context.Context, c *Client, fetch func(context.Context) (*T, error), terminal func(*T) bool, onPoll func(*T)) (*T, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
@@ -366,7 +372,7 @@ func poll[T any](ctx context.Context, c *Client, fetch func(context.Context) (*T
 		if terminal(v) {
 			return v, nil
 		}
-		timer := time.NewTimer(interval)
+		timer := time.NewTimer(interval + rand.N(interval)) // interval..2·interval
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -407,12 +413,21 @@ func (c *Client) WaitJob(ctx context.Context, id string, onUpdate func(*Job)) (*
 }
 
 // errNoStream marks an events endpoint that did not produce an SSE
-// stream; WaitJob falls back to polling.
+// stream; WaitJob and WaitStudy fall back to polling.
 var errNoStream = errors.New("client: no event stream")
 
 // waitSSE consumes the job's SSE stream until a terminal state.
 func (c *Client) waitSSE(ctx context.Context, id string, onUpdate func(*Job)) (*Job, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/jobs/"+id+"/events", nil)
+	return streamSSE(ctx, c, "/v1/jobs/"+id+"/events",
+		func(j *Job) bool { return j.Status.Terminal() }, onUpdate)
+}
+
+// streamSSE consumes one record's SSE stream until terminal reports a
+// frame final — the shared transport behind waitSSE and WaitStudy.
+// Any transport or framing problem maps to errNoStream so the caller
+// can fall back to polling.
+func streamSSE[T any](ctx context.Context, c *Client, path string, terminal func(*T) bool, onUpdate func(*T)) (*T, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -436,15 +451,15 @@ func (c *Client) waitSSE(ctx context.Context, id string, onUpdate func(*Job)) (*
 		if !ok {
 			continue
 		}
-		var job Job
-		if err := json.Unmarshal([]byte(data), &job); err != nil {
+		v := new(T)
+		if err := json.Unmarshal([]byte(data), v); err != nil {
 			return nil, errNoStream
 		}
 		if onUpdate != nil {
-			onUpdate(&job)
+			onUpdate(v)
 		}
-		if job.Status.Terminal() {
-			return &job, nil
+		if terminal(v) {
+			return v, nil
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -481,13 +496,53 @@ func (c *Client) Run(ctx context.Context, spec awakemis.Spec) (*awakemis.Report,
 // parameter-sweep grid executing through the daemon's cache and
 // coalescing machinery. Spec is the server's resolved form.
 type Study struct {
-	ID     string             `json:"id"`
-	Status JobStatus          `json:"status"`
-	Spec   awakemis.StudySpec `json:"spec"`
-	Done   int                `json:"done"`
-	Total  int                `json:"total"`
-	Error  string             `json:"error,omitempty"`
-	Result json.RawMessage    `json:"result,omitempty"`
+	ID       string             `json:"id"`
+	Status   JobStatus          `json:"status"`
+	Spec     awakemis.StudySpec `json:"spec"`
+	Done     int                `json:"done"`
+	Total    int                `json:"total"`
+	Error    string             `json:"error,omitempty"`
+	Result   json.RawMessage    `json:"result,omitempty"`
+	Progress *StudyProgress     `json:"progress,omitempty"`
+}
+
+// StudyProgress mirrors the server's live study view: per-cell states
+// plus grid-wide aggregates. On a terminal study it is the frozen
+// final tally.
+type StudyProgress struct {
+	Cells []StudyCellProgress `json:"cells"`
+
+	CellsQueued   int `json:"cells_queued"`
+	CellsRunning  int `json:"cells_running"`
+	CellsDone     int `json:"cells_done"`
+	CellsCached   int `json:"cells_cached"`
+	CellsFailed   int `json:"cells_failed,omitempty"`
+	CellsCanceled int `json:"cells_canceled,omitempty"`
+
+	RunsDone   int `json:"runs_done"`
+	RunsCached int `json:"runs_cached,omitempty"`
+
+	ExecutedRounds  int64   `json:"executed_rounds"`
+	EngineSeconds   float64 `json:"engine_seconds"`
+	LanesVectorized int     `json:"lanes_vectorized,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	ETAMS     float64 `json:"eta_ms,omitempty"`
+}
+
+// StudyCellProgress is one grid cell's progress: which cell it is and
+// how far its trials have gotten.
+type StudyCellProgress struct {
+	Index  int    `json:"index"`
+	Task   string `json:"task"`
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Engine string `json:"engine"`
+
+	State  string `json:"state"` // queued|running|done|cached|failed|canceled
+	Done   int    `json:"done"`
+	Trials int    `json:"trials"`
+	Cached int    `json:"cached,omitempty"`
 }
 
 // DecodeResult unmarshals the study's StudyResult artifact (Status
@@ -536,13 +591,26 @@ func (c *Client) CancelStudy(ctx context.Context, id string) (*Study, error) {
 	return &study, nil
 }
 
-// WaitStudy polls the study until it reaches a terminal state or ctx
-// ends. onPoll, when non-nil, receives every observed state — the CLI
-// uses it for progress lines.
+// WaitStudy follows the study to a terminal state, preferring the
+// server's SSE event stream (GET /v1/studies/{id}/events) — every
+// progress change arrives as it happens — and transparently falling
+// back to polling against daemons without the stream. onPoll, when
+// non-nil, receives every observed state — the CLI uses it for
+// progress lines.
 func (c *Client) WaitStudy(ctx context.Context, id string, onPoll func(*Study)) (*Study, error) {
+	terminal := func(s *Study) bool { return s.Status.Terminal() }
+	study, err := streamSSE(ctx, c, "/v1/studies/"+id+"/events", terminal, onPoll)
+	if err == nil {
+		return study, nil
+	}
+	if ctx.Err() != nil {
+		return study, ctx.Err()
+	}
+	// The stream failed mid-flight or isn't served (older daemon,
+	// buffering proxy): fall back to polling.
 	return poll(ctx, c,
 		func(ctx context.Context) (*Study, error) { return c.Study(ctx, id) },
-		func(s *Study) bool { return s.Status.Terminal() }, onPoll)
+		terminal, onPoll)
 }
 
 // RunStudy submits the study and waits for its artifact: the remote
@@ -577,6 +645,17 @@ func (c *Client) Tasks(ctx context.Context) ([]TaskInfo, error) {
 	return infos, nil
 }
 
+// Studies lists every study the server remembers, newest first, with
+// live progress attached but Result bodies stripped (fetch one study
+// by id for its artifact).
+func (c *Client) Studies(ctx context.Context) ([]Study, error) {
+	var studies []Study
+	if err := c.do(ctx, http.MethodGet, "/v1/studies", nil, &studies); err != nil {
+		return nil, err
+	}
+	return studies, nil
+}
+
 // Stats fetches the server's counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var st Stats
@@ -584,6 +663,46 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// StatsRaw fetches /v1/stats as the server's exact JSON bytes. The
+// cluster front uses it to relay per-peer snapshots without dragging
+// them through this package's Stats struct (which would silently drop
+// fields a newer peer reports).
+func (c *Client) StatsRaw(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ClusterPeerStats is one worker daemon's row in the fleet view.
+type ClusterPeerStats struct {
+	Addr  string `json:"addr"`
+	Up    bool   `json:"up"`
+	Error string `json:"error,omitempty"`
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// ClusterStatsView is the /v1/cluster/stats payload: the front's own
+// counters, every peer's, and their merged fleet total.
+type ClusterStatsView struct {
+	Self       Stats              `json:"self"`
+	Peers      []ClusterPeerStats `json:"peers"`
+	Total      Stats              `json:"total"`
+	PeersUp    int                `json:"peers_up"`
+	PeersTotal int                `json:"peers_total"`
+}
+
+// ClusterStats fetches the fleet-wide aggregate a cluster front
+// serves. Daemons not fronting a cluster answer 404.
+func (c *Client) ClusterStats(ctx context.Context) (*ClusterStatsView, error) {
+	var cs ClusterStatsView
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/stats", nil, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
 }
 
 // Health checks /v1/healthz and returns the daemon's build identity.

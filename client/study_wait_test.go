@@ -1,0 +1,98 @@
+// WaitStudy transport tests against a scripted daemon: the SSE path
+// is preferred when served, and a daemon without the events endpoint
+// (older build, buffering proxy) degrades transparently to polling.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"awakemis/client"
+)
+
+// scriptedStudyMux fakes the study surface: the status GET serves
+// "running" until `polls` requests have arrived, then "done"; the
+// events route streams two SSE frames when on, and 404s when off.
+func scriptedStudyMux(polls int64, sse bool, gets, streams *atomic.Int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/studies/s-000001", func(w http.ResponseWriter, _ *http.Request) {
+		status := "running"
+		if gets.Add(1) >= polls {
+			status = "done"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": "s-000001", "status": status, "done": 1, "total": 2,
+		})
+	})
+	if sse {
+		mux.HandleFunc("GET /v1/studies/s-000001/events", func(w http.ResponseWriter, _ *http.Request) {
+			streams.Add(1)
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, `data: {"id":"s-000001","status":"running","done":1,"total":2}`+"\n\n")
+			fmt.Fprint(w, `data: {"id":"s-000001","status":"done","done":2,"total":2}`+"\n\n")
+		})
+	}
+	return mux
+}
+
+// TestWaitStudyPrefersSSE: with the events endpoint served, WaitStudy
+// consumes the stream to the terminal frame and never polls.
+func TestWaitStudyPrefersSSE(t *testing.T) {
+	var gets, streams atomic.Int64
+	ts := httptest.NewServer(scriptedStudyMux(1, true, &gets, &streams))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	var observed []string
+	st, err := c.WaitStudy(context.Background(), "s-000001", func(s *client.Study) {
+		observed = append(observed, string(s.Status))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != client.JobDone || st.Done != 2 {
+		t.Fatalf("study = %+v", st)
+	}
+	if streams.Load() != 1 || gets.Load() != 0 {
+		t.Errorf("streams=%d gets=%d, want the SSE path only", streams.Load(), gets.Load())
+	}
+	if len(observed) != 2 || observed[0] != "running" {
+		t.Errorf("observed states %v, want [running done]", observed)
+	}
+}
+
+// TestWaitStudyPollingFallback: a daemon without the events route
+// (404) degrades to the polling loop and still lands the terminal
+// state.
+func TestWaitStudyPollingFallback(t *testing.T) {
+	var gets, streams atomic.Int64
+	ts := httptest.NewServer(scriptedStudyMux(3, false, &gets, &streams))
+	defer ts.Close()
+
+	c := client.New(ts.URL, ts.Client())
+	c.PollInterval = 1 // fastest legal pacing; jitter stays sub-millisecond
+	sawRunning := false
+	st, err := c.WaitStudy(context.Background(), "s-000001", func(s *client.Study) {
+		if s.Status == client.JobRunning {
+			sawRunning = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != client.JobDone {
+		t.Fatalf("study = %+v", st)
+	}
+	if gets.Load() < 3 {
+		t.Errorf("server saw %d status polls, want >= 3", gets.Load())
+	}
+	if !sawRunning {
+		t.Error("polling fallback never observed the running state")
+	}
+}

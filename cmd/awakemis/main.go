@@ -12,6 +12,7 @@
 //	awakemis -batch specs.json -server http://127.0.0.1:7600
 //	awakemis -study study.json > result.json
 //	awakemis -study study.json -server http://127.0.0.1:7600
+//	awakemis -study study.json -server http://127.0.0.1:7600 -progress
 //	awakemis -study study.json -csv > cells-and-fits.csv
 //	awakemis -list
 //
@@ -36,6 +37,10 @@
 // affects results). Duplicate specs coalesce server-side, repeated
 // submissions are served byte-identically from the daemon's report
 // cache, and a re-submitted study therefore runs zero simulations.
+// With -progress, server-side studies additionally render a live
+// per-cell ticker on stderr — one line per cell state transition
+// (running, done, cached, failed) plus aggregate run/round/ETA lines —
+// fed by the daemon's SSE study stream (or its polled equivalent).
 package main
 
 import (
@@ -76,6 +81,7 @@ func main() {
 		batch    = flag.String("batch", "", "run a JSON file of specs through the batch Runner")
 		study    = flag.String("study", "", "run a StudySpec JSON file through the study engine")
 		csvOut   = flag.Bool("csv", false, "study: emit the artifact's cells and fits tables as CSV instead of JSON")
+		progress = flag.Bool("progress", false, "study: live per-cell progress ticker on stderr (needs -server)")
 		parallel = flag.Int("parallel", 0, "batch/study: specs in flight at once (0 = one per CPU)")
 		server   = flag.String("server", "", "batch/study: submit to a running awakemisd at this base URL instead of executing locally")
 		list     = flag.Bool("list", false, "list tasks and exit")
@@ -105,11 +111,17 @@ func main() {
 		if *batch != "" {
 			fail(errors.New("-study and -batch are mutually exclusive"))
 		}
-		runStudy(ctx, *study, *server, *parallel, *workers, *csvOut)
+		if *progress && *server == "" {
+			fail(errors.New("-progress requires -server (local studies already report per-run progress)"))
+		}
+		runStudy(ctx, *study, *server, *parallel, *workers, *csvOut, *progress)
 		return
 	}
 	if *csvOut {
 		fail(errors.New("-csv requires -study"))
+	}
+	if *progress {
+		fail(errors.New("-progress requires -study"))
 	}
 	if *batch != "" {
 		if *server != "" {
@@ -409,7 +421,7 @@ func submitBatch(ctx context.Context, path, server string, parallel int, seed in
 // daemon assembles its result through the same accumulator, and the
 // CLI re-renders the decoded artifact with the same canonical
 // marshaling.
-func runStudy(ctx context.Context, path, server string, parallel, workers int, csvOut bool) {
+func runStudy(ctx context.Context, path, server string, parallel, workers int, csvOut, progress bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail(err)
@@ -423,7 +435,7 @@ func runStudy(ctx context.Context, path, server string, parallel, workers int, c
 
 	var res *awakemis.StudyResult
 	if server != "" {
-		res = submitStudy(ctx, ss, server)
+		res = submitStudy(ctx, ss, server, progress)
 	} else {
 		runner := &awakemis.StudyRunner{
 			Parallel: parallel,
@@ -461,8 +473,9 @@ func runStudy(ctx context.Context, path, server string, parallel, workers int, c
 }
 
 // submitStudy runs the study on a remote awakemisd, with progress on
-// stderr as sub-runs finish.
-func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awakemis.StudyResult {
+// stderr as sub-runs finish — coarse run-count lines by default, a
+// per-cell ticker with -progress.
+func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string, progress bool) *awakemis.StudyResult {
 	c := client.New(server, nil)
 	if _, err := c.Health(ctx); err != nil {
 		fail(err)
@@ -473,13 +486,19 @@ func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awa
 	}
 	id := st.ID // survives WaitStudy overwriting st (nil on poll errors)
 	fmt.Fprintf(os.Stderr, "study %s: %d runs\n", id, st.Total)
-	lastDone := -1
-	st, err = c.WaitStudy(ctx, id, func(s *client.Study) {
-		if s.Done != lastDone {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", s.Done, s.Total, s.Status)
-			lastDone = s.Done
+	var onUpdate func(*client.Study)
+	if progress {
+		onUpdate = (&studyTicker{}).observe
+	} else {
+		lastDone := -1
+		onUpdate = func(s *client.Study) {
+			if s.Done != lastDone {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", s.Done, s.Total, s.Status)
+				lastDone = s.Done
+			}
 		}
-	})
+	}
+	st, err = c.WaitStudy(ctx, id, onUpdate)
 	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
 		// Best effort: release the daemon-side sub-runs we no longer want.
 		cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -505,6 +524,58 @@ func submitStudy(ctx context.Context, ss awakemis.StudySpec, server string) *awa
 		fail(fmt.Errorf("study %s was %s", st.ID, st.Status))
 	}
 	return nil
+}
+
+// studyTicker renders -progress lines on stderr from the study's live
+// views (SSE frames, or polled states on fallback): one line per cell
+// state transition, plus an aggregate line whenever the run counters
+// move. Cells never transition back into "queued", so that state is
+// only ever the silent starting point.
+type studyTicker struct {
+	states  []string
+	lastAgg string
+}
+
+func (t *studyTicker) observe(s *client.Study) {
+	p := s.Progress
+	if p == nil {
+		// Pre-progress daemon: degrade to the coarse run counter.
+		if agg := fmt.Sprintf("[%d/%d] %s", s.Done, s.Total, s.Status); agg != t.lastAgg {
+			fmt.Fprintln(os.Stderr, agg)
+			t.lastAgg = agg
+		}
+		return
+	}
+	if t.states == nil {
+		t.states = make([]string, len(p.Cells))
+	}
+	for i, c := range p.Cells {
+		if i >= len(t.states) || c.State == t.states[i] || c.State == "queued" {
+			continue
+		}
+		t.states[i] = c.State
+		detail := fmt.Sprintf("%d/%d trials", c.Done, c.Trials)
+		if c.Cached > 0 {
+			detail += fmt.Sprintf(", %d cached", c.Cached)
+		}
+		fmt.Fprintf(os.Stderr, "  cell %2d %s/%s n=%-8d %-9s %-8s (%s)\n",
+			c.Index, c.Task, c.Family, c.N, c.Engine, c.State, detail)
+	}
+	agg := fmt.Sprintf("[%d/%d runs] %d running, %d done, %d cached",
+		p.RunsDone, s.Total, p.CellsRunning, p.CellsDone, p.CellsCached)
+	if p.CellsFailed > 0 {
+		agg += fmt.Sprintf(", %d failed", p.CellsFailed)
+	}
+	if p.ExecutedRounds > 0 {
+		agg += fmt.Sprintf(" · %d rounds", p.ExecutedRounds)
+	}
+	if p.ETAMS > 0 {
+		agg += fmt.Sprintf(" · eta %.1fs", p.ETAMS/1000)
+	}
+	if agg != t.lastAgg {
+		fmt.Fprintln(os.Stderr, agg)
+		t.lastAgg = agg
+	}
 }
 
 // profiles holds the optional pprof outputs. CPU profiling covers

@@ -25,10 +25,14 @@
 //	GET    /v1/jobs/{id}/events  SSE stream of the job's states until terminal
 //	DELETE /v1/jobs/{id}    cancel one submission (duplicates unaffected)
 //	POST   /v1/studies      submit a StudySpec grid; always 202
-//	GET    /v1/studies/{id} study progress and, when done, its artifact
+//	GET    /v1/studies      list studies, newest first, with live progress
+//	GET    /v1/studies/{id} study status, per-cell progress, and (when done) its artifact
+//	GET    /v1/studies/{id}/events  SSE stream of the study's progress until terminal
 //	DELETE /v1/studies/{id} cancel a study and its unfinished sub-runs
 //	GET    /v1/tasks        the task registry
 //	GET    /v1/stats        cache/store/queue/job/study/peer/engine counters
+//	GET    /v1/cluster/stats  fleet-wide per-peer stats + merged total (front only)
+//	GET    /v1/dashboard    embedded live dashboard (self-contained HTML)
 //	GET    /v1/healthz      200 serving, 503 draining; body carries build info
 //	GET    /metrics         Prometheus text exposition (disable: -metrics=false)
 //

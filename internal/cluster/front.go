@@ -164,6 +164,30 @@ func (f *Front) probe() {
 	wg.Wait()
 }
 
+// FetchPeerStats implements service.PeerStatsFetcher, the read side
+// of GET /v1/cluster/stats: one concurrent /v1/stats fetch per peer,
+// each bounded by the probe timeout (within ctx), returning one
+// snapshot per configured peer — raw JSON on success, the error
+// otherwise. The front's own stats are not included; the service
+// layer adds its own snapshot when it assembles the fleet view.
+func (f *Front) FetchPeerStats(ctx context.Context) []service.PeerSnapshot {
+	addrs := f.ring.Peers()
+	snaps := make([]service.PeerSnapshot, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.timeout)
+			defer cancel()
+			data, err := p.client.StatsRaw(pctx)
+			snaps[i] = service.PeerSnapshot{Addr: p.addr, Data: data, Err: err}
+		}(i, f.peers[addr])
+	}
+	wg.Wait()
+	return snaps
+}
+
 // PeerHealth reports every peer's last known health (service.Forwarder).
 func (f *Front) PeerHealth() map[string]bool {
 	health := make(map[string]bool, len(f.peers))

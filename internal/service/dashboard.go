@@ -1,0 +1,21 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The dashboard is a single self-contained HTML page embedded in the
+// binary — no external assets, no build step, usable the moment a
+// daemon is up. It consumes only the public API (/v1/stats,
+// /v1/studies, /v1/cluster/stats, and the per-study SSE streams), so
+// it shows exactly what any other client could see.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard is GET /v1/dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

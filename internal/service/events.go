@@ -14,25 +14,18 @@ import (
 // regardless.
 const eventPollInterval = 120 * time.Millisecond
 
-// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
-// stream of the job's wire view. One `data:` frame is sent
-// immediately, another whenever the view changes (progress updates,
-// status transitions), and a final one at the terminal state, after
-// which the stream closes. Clients (client.WaitJob, curl -N, EventSource)
-// follow a run live instead of polling.
-func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	var done chan struct{}
-	if ok {
-		done = j.done
-	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, fmt.Errorf("%w: no job %s", ErrNotFound, id))
-		return
-	}
+// streamEvents is the SSE core shared by the job and study event
+// endpoints: one `data:` frame immediately, another whenever the
+// JSON-marshaled view changes (byte-equal frames are deduplicated),
+// and a final one when done closes, after which the stream ends.
+//
+// Subscriber lifecycle: the handler goroutine IS the subscription —
+// there is no registry to leak. A client disconnect cancels
+// r.Context(), the select falls out, and everything the stream held
+// (ticker, last-frame buffer) dies with the handler; the run itself
+// is untouched (watching is not waiting — the last-waiter cancel rule
+// only counts submitters).
+func streamEvents(w http.ResponseWriter, r *http.Request, done <-chan struct{}, view func() (any, bool)) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, fmt.Errorf("streaming unsupported by connection"))
@@ -43,14 +36,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	var last []byte
-	// send emits a frame when the job view changed; false means the job
+	// send emits a frame when the view changed; false means the record
 	// was forgotten (history cap) and the stream should end.
 	send := func() bool {
-		job, ok := s.Lookup(id)
+		v, ok := view()
 		if !ok {
 			return false
 		}
-		data, err := json.Marshal(job)
+		data, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
@@ -81,4 +74,54 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of the job's wire view. One `data:` frame is sent
+// immediately, another whenever the view changes (progress updates,
+// status transitions), and a final one at the terminal state, after
+// which the stream closes. Clients (client.WaitJob, curl -N, EventSource)
+// follow a run live instead of polling.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var done chan struct{}
+	if ok {
+		done = j.done
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no job %s", ErrNotFound, id))
+		return
+	}
+	streamEvents(w, r, done, func() (any, bool) {
+		job, ok := s.Lookup(id)
+		return job, ok
+	})
+}
+
+// handleStudyEvents is GET /v1/studies/{id}/events: the study
+// counterpart of handleJobEvents. Frames carry the study's wire view
+// with live per-cell progress; the terminal frame additionally
+// carries the StudyResult artifact (and, for a fully cache-served
+// study, every cell marked "cached" — the stream proves no engine
+// ran).
+func (s *Server) handleStudyEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.studies[id]
+	var done chan struct{}
+	if ok {
+		done = st.done
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, fmt.Errorf("%w: no study %s", ErrNotFound, id))
+		return
+	}
+	streamEvents(w, r, done, func() (any, bool) {
+		study, ok := s.LookupStudy(id)
+		return study, ok
+	})
 }

@@ -205,6 +205,12 @@ func (s *Server) handleSubmitStudy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, study)
 }
 
+// handleListStudies is GET /v1/studies: every queryable study
+// newest-first, Results stripped (fetch an artifact by id).
+func (s *Server) handleListStudies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ListStudies())
+}
+
 // handleGetStudy is GET /v1/studies/{id}.
 func (s *Server) handleGetStudy(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")

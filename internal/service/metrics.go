@@ -98,6 +98,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	scalar("awakemisd_jobs_canceled_total", "counter", "Jobs canceled by submitters.", st.JobsCanceled)
 	scalar("awakemisd_studies_submitted_total", "counter", "Studies accepted.", st.StudiesSubmitted)
 	scalar("awakemisd_studies_completed_total", "counter", "Studies that produced an artifact.", st.StudiesCompleted)
+	fmt.Fprintf(&b, "# HELP awakemisd_study_cells_total Study cells by terminal outcome.\n# TYPE awakemisd_study_cells_total counter\n")
+	for _, state := range []string{"cached", "canceled", "done", "failed"} {
+		fmt.Fprintf(&b, "awakemisd_study_cells_total{state=%s} %d\n", labelQuote(state), st.StudyCells[state])
+	}
 	scalar("awakemisd_engine_rounds_simulated_total", "counter", "Rounds executed by local simulations.", st.RoundsSimulated)
 	scalar("awakemisd_sim_seconds_total", "counter", "Engine time spent by local simulations.", strconv.FormatFloat(st.SimSeconds, 'g', -1, 64))
 
@@ -113,6 +117,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.fwd != nil {
 		scalar("awakemisd_forwarded_total", "counter", "Flights served by a cluster peer.", st.Forwarded)
 		scalar("awakemisd_forward_errors_total", "counter", "Flights no peer could serve.", st.ForwardErrors)
+		scalar("awakemisd_cluster_peers_up", "gauge", "Peers whose last health probe (or forward) succeeded.", st.PeersHealthy)
 		health := s.fwd.PeerHealth()
 		peers := make([]string, 0, len(health))
 		for addr := range health {

@@ -108,3 +108,17 @@ func (t *progressTracker) totals() (rounds, simNS int64) {
 	}
 	return t.cur.Executed, t.simNS
 }
+
+// progressTotals is totals for study-progress attribution: unlike the
+// server-stats totals it keeps counting through a front — the relayed
+// remote rounds are exactly what a study submitter wants aggregated —
+// while engine time stays local-only (the wall clock of a remote run
+// is not engine time).
+func (t *progressTracker) progressTotals() (rounds, simNS int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.remote {
+		return t.cur.Executed, 0
+	}
+	return t.cur.Executed, t.simNS
+}

@@ -161,6 +161,13 @@ type job struct {
 	// done closes when the job reaches a terminal state — the in-process
 	// completion signal study executors wait on (HTTP clients poll).
 	done chan struct{}
+	// rounds/simNS are the flight tracker's totals stamped when the job
+	// goes terminal (the flight pointer is cleared then), and vectorized
+	// marks a job that ran as a lane of a merged cell pass — study
+	// progress aggregates all three after the run is gone.
+	rounds     int64
+	simNS      int64
+	vectorized bool
 }
 
 // flight is one in-flight (or queued) simulation shared by every job
@@ -268,6 +275,12 @@ type Stats struct {
 	RoundsSimulated int64   `json:"rounds_simulated,omitempty"`
 	SimSeconds      float64 `json:"sim_seconds,omitempty"`
 
+	// StudyCells counts study cells by terminal outcome ("done",
+	// "cached", "failed", "canceled") across all finished studies —
+	// the Prometheus awakemisd_study_cells_total series (omitempty:
+	// absent until a study finishes).
+	StudyCells map[string]int64 `json:"study_cells,omitempty"`
+
 	// Build identity of the serving daemon (omitempty: absent when the
 	// binary carries no module/VCS metadata). Mirrors /v1/healthz and
 	// `awakemisd -version`.
@@ -308,10 +321,12 @@ type Server struct {
 
 	// Studies: each submission fans out into sub-jobs through the same
 	// Submit path (cache, coalescing, bounded queue) and aggregates
-	// into a StudyResult artifact. studyDone mirrors doneOrder.
-	studies   map[string]*studyRun
-	studyDone []string
-	studySeq  int
+	// into a StudyResult artifact. studyDone mirrors doneOrder;
+	// studyCells tallies terminal cell outcomes (Stats.StudyCells).
+	studies    map[string]*studyRun
+	studyDone  []string
+	studySeq   int
+	studyCells map[string]int64
 
 	baseCtx    context.Context
 	cancelRuns context.CancelFunc
@@ -347,11 +362,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/studies", s.handleSubmitStudy)
+	s.mux.HandleFunc("GET /v1/studies", s.handleListStudies)
 	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGetStudy)
+	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.handleStudyEvents)
 	s.mux.HandleFunc("DELETE /v1/studies/{id}", s.handleCancelStudy)
 	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster/stats", s.handleClusterStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
 	if cfg.Metrics {
 		s.metrics = newMetricsState()
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -544,6 +563,9 @@ func (s *Server) Cancel(id string) (Job, error) {
 func (s *Server) cancelLocked(j *job) {
 	f := j.flight // finishLocked clears the pointer
 	j.Status = JobCanceled
+	if f != nil && f.tracker != nil {
+		j.rounds, j.simNS = f.tracker.progressTotals()
+	}
 	s.stats.JobsCanceled++
 	s.finishLocked(j)
 	if f != nil {
@@ -603,6 +625,9 @@ func (s *Server) StatsSnapshot() Stats {
 		if len(s.peerForwards) > 0 {
 			st.PeerForwards = maps.Clone(s.peerForwards)
 		}
+	}
+	if len(s.studyCells) > 0 {
+		st.StudyCells = maps.Clone(s.studyCells)
 	}
 	return st
 }
@@ -693,6 +718,13 @@ func (s *Server) worker() {
 		rounds, simNS := f.tracker.totals()
 		s.stats.RoundsSimulated += rounds
 		s.simNS += simNS
+		jobRounds, jobSimNS := f.tracker.progressTotals()
+		for _, j := range f.jobs {
+			// Stamp every waiter with the flight's executed totals (remote
+			// relays included) before the flight pointer goes away — study
+			// progress keeps aggregating them after the run is gone.
+			j.rounds, j.simNS = jobRounds, jobSimNS
+		}
 		if s.fwd != nil {
 			if err == nil {
 				s.stats.Forwarded++
@@ -859,6 +891,11 @@ func (s *Server) runLanesLocked(lanes []*flight) {
 		rounds, simNS := f.tracker.totals()
 		s.stats.RoundsSimulated += rounds
 		s.simNS += simNS
+		jobRounds, jobSimNS := f.tracker.progressTotals()
+		for _, j := range f.jobs {
+			j.rounds, j.simNS = jobRounds, jobSimNS
+			j.vectorized = true
+		}
 		if s.inflight[f.hash] == f {
 			delete(s.inflight, f.hash)
 		}

@@ -65,6 +65,35 @@ func TestStatsZeroValueKeepsLegacyShape(t *testing.T) {
 	}
 }
 
+// TestStudyZeroValueKeepsLegacyShape freezes the Study wire shape:
+// every observability field (progress, result, error) is omitempty,
+// so a minimal study document keeps the pre-progress key set and
+// canonical artifact hashes stay unchanged.
+func TestStudyZeroValueKeepsLegacyShape(t *testing.T) {
+	data, err := json.Marshal(Study{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"done", "id", "spec", "status", "total"}
+	if len(got) != len(want) {
+		t.Fatalf("zero Study marshals keys %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("key[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 func TestStatsNewFieldsAppearWhenSet(t *testing.T) {
 	s := Stats{
 		StoreHits:      1,
@@ -81,6 +110,8 @@ func TestStatsNewFieldsAppearWhenSet(t *testing.T) {
 		PeersHealthy:   1,
 		PeersTotal:     2,
 
+		StudyCells: map[string]int64{"done": 4, "cached": 2},
+
 		RoundsSimulated: 11,
 		SimSeconds:      0.5,
 		Version:         "v1.2.3",
@@ -94,6 +125,7 @@ func TestStatsNewFieldsAppearWhenSet(t *testing.T) {
 		"store_corrupt": true, "store_errors": true,
 		"forwarded": true, "forward_errors": true, "peer_forwards": true,
 		"peers_healthy": true, "peers_total": true,
+		"study_cells":      true,
 		"rounds_simulated": true, "sim_seconds": true,
 		"version": true, "revision": true, "build_time": true, "go_version": true,
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"awakemis"
@@ -29,6 +30,11 @@ type Study struct {
 	// spec, because the daemon assembles it through the same public
 	// accumulator.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Progress is the live per-cell view of the grid (states, executed
+	// rounds, ETA), attached once the executor starts and frozen at
+	// the terminal state — so a finished study still reports which
+	// cells the cache served.
+	Progress *StudyProgress `json:"progress,omitempty"`
 }
 
 // studyRun is a Study plus the server-side execution state.
@@ -40,6 +46,18 @@ type studyRun struct {
 	// jobs are the submitted sub-jobs in spec order (guarded by
 	// Server.mu; grows during the submission phase).
 	jobs []*job
+	// cells is the resolved grid's cell list, fixed at submission:
+	// sub-job i belongs to cells[i/Trials], the invariant the per-cell
+	// progress derivation leans on.
+	cells []awakemis.StudyCell
+	// started anchors the progress clock (and the ETA extrapolation).
+	started time.Time
+	// final is the progress view frozen at the terminal transition
+	// (the sub-job references are released there); nil while live.
+	final *StudyProgress
+	// done closes when the study reaches a terminal state — the
+	// completion signal the SSE event stream selects on.
+	done chan struct{}
 	// ctx is canceled when the study is canceled, the server force
 	// stops, or the executor exits; the submission loop's backpressure
 	// wait selects on it.
@@ -83,6 +101,9 @@ func (s *Server) SubmitStudyTraced(ss awakemis.StudySpec, traceID string) (Study
 			Total:  acc.Total(),
 		},
 		traceID: traceID,
+		cells:   acc.Study().Cells(),
+		started: time.Now(),
+		done:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
@@ -93,7 +114,8 @@ func (s *Server) SubmitStudyTraced(ss awakemis.StudySpec, traceID string) (Study
 	return st.Study, nil
 }
 
-// LookupStudy returns the study's current wire view.
+// LookupStudy returns the study's current wire view, with the live
+// (or, once terminal, frozen) per-cell progress attached.
 func (s *Server) LookupStudy(id string) (Study, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -101,7 +123,26 @@ func (s *Server) LookupStudy(id string) (Study, bool) {
 	if !ok {
 		return Study{}, false
 	}
-	return st.Study, true
+	wire := st.Study
+	wire.Progress = s.studyProgressLocked(st)
+	return wire, true
+}
+
+// ListStudies returns every queryable study newest-first, Results
+// stripped (an artifact can run to megabytes; fetch it by id). The
+// dashboard's study panel reads this.
+func (s *Server) ListStudies() []Study {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Study, 0, len(s.studies))
+	for _, st := range s.studies {
+		wire := st.Study
+		wire.Result = nil
+		wire.Progress = s.studyProgressLocked(st)
+		out = append(out, wire)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
 }
 
 // CancelStudy cancels a study: unfinished sub-jobs are canceled (a
@@ -304,11 +345,14 @@ func (s *Server) failStudy(st *studyRun, err error) {
 }
 
 // finishStudyLocked records a study reaching a terminal state and
-// enforces the finished-study history cap. The sub-job references are
-// released so a finished study pins no Report bytes beyond the job
-// history and cache budgets (the executor guards its st.jobs reads
-// with a terminal check). Callers hold s.mu.
+// enforces the finished-study history cap. The progress view is
+// frozen first (it needs the sub-jobs), then the sub-job references
+// are released so a finished study pins no Report bytes beyond the
+// job history and cache budgets (the executor guards its st.jobs
+// reads with a terminal check). Callers hold s.mu.
 func (s *Server) finishStudyLocked(st *studyRun) {
+	s.finalizeStudyProgressLocked(st)
+	close(st.done)
 	st.jobs = nil
 	s.studyDone = append(s.studyDone, st.ID)
 	for len(s.studyDone) > s.cfg.JobHistory {
